@@ -1,0 +1,22 @@
+"""Benchmark-suite helpers.
+
+Every figure benchmark regenerates its table once (``benchmark.pedantic``
+with a single round — the simulations are minutes-long, not
+microbenchmarks), prints it, and persists it under
+``benchmarks/results/`` so the numbers survive the pytest run.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def persist(result) -> None:
+    """Print an ExperimentResult and write it to benchmarks/results/."""
+    text = result.format(include_series=True)
+    print()
+    print(text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{result.experiment_id}.txt").write_text(text + "\n")

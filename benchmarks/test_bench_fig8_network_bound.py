@@ -1,0 +1,33 @@
+"""Figure 8 — network-bound micro-benchmarks.
+
+Regenerates the paper's three network-bound comparisons (Linear, Diamond,
+Star; R-Storm vs default Storm) and checks the reproduced shape: R-Storm
+wins each topology, diamond by the smallest margin.
+
+Paper: +50% (Linear), +30% (Diamond), +47% (Star).
+"""
+
+from conftest import persist
+
+from repro.experiments import fig8_network_bound
+
+
+def test_fig8_regenerates_paper_table(benchmark):
+    result = benchmark.pedantic(
+        fig8_network_bound.run,
+        kwargs={"duration_s": 90.0},
+        rounds=1,
+        iterations=1,
+    )
+    persist(result)
+
+    improvements = {}
+    for kind in ("linear", "diamond", "star"):
+        improvement = result.row_value({"topology": kind}, "improvement_pct")
+        improvements[kind] = improvement
+        # Shape: R-Storm clearly ahead on every network-bound topology.
+        assert improvement > 15.0, f"{kind}: expected R-Storm win, got {improvement}%"
+    # Shape: the diamond carries the most replicated traffic and shows the
+    # smallest gain, as in the paper (+30% vs +50%/+47%).
+    assert improvements["diamond"] <= improvements["linear"]
+    assert improvements["diamond"] <= improvements["star"]

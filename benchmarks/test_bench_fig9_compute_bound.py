@@ -1,0 +1,38 @@
+"""Figure 9 — computation-bound micro-benchmarks.
+
+Regenerates the compute-bound comparisons: R-Storm should match default
+Storm's throughput using roughly half the machines (paper: 6/7/6 vs 12),
+and beat it outright on the Star topology, where default Storm's
+round-robin over-utilises the spout machines.
+"""
+
+from conftest import persist
+
+from repro.experiments import fig9_compute_bound
+
+
+def test_fig9_regenerates_paper_table(benchmark):
+    result = benchmark.pedantic(
+        fig9_compute_bound.run,
+        kwargs={"duration_s": 90.0},
+        rounds=1,
+        iterations=1,
+    )
+    persist(result)
+
+    for kind in ("linear", "diamond"):
+        ratio = result.row_value({"topology": kind}, "throughput_ratio")
+        assert 0.9 <= ratio <= 1.15, f"{kind}: expected parity, got {ratio}"
+        rstorm_nodes = result.row_value({"topology": kind}, "rstorm_nodes")
+        default_nodes = result.row_value({"topology": kind}, "default_nodes")
+        assert rstorm_nodes <= default_nodes * 0.67
+
+    star_ratio = result.row_value({"topology": "star"}, "throughput_ratio")
+    assert star_ratio > 1.1  # default's hot machines throttle the star
+
+    # R-Storm never over-commits CPU given honest declarations.
+    for kind in ("linear", "diamond", "star"):
+        overcommit = result.row_value(
+            {"topology": kind}, "rstorm_max_cpu_overcommit"
+        )
+        assert overcommit <= 1.0 + 1e-9

@@ -1,0 +1,25 @@
+"""Scalability of the scheduler beyond the 12-node testbed.
+
+Random layered topologies on clusters up to 128 nodes: scheduling
+latency must stay far below the 10 s Nimbus period, and R-Storm's
+locality advantage (mean network distance) must persist at scale.
+Throughput columns come from the analytical flow model.
+"""
+
+from conftest import persist
+
+from repro.experiments import scalability
+
+
+def test_scalability_table(benchmark):
+    result = benchmark.pedantic(scalability.run, rounds=1, iterations=1)
+    persist(result)
+
+    for row in result.rows:
+        assert row["rstorm_ms"] < 1000.0  # well below the 10 s period
+        assert row["rstorm_mean_netdist"] < row["default_mean_netdist"]
+    # latency grows sub-quadratically with cluster size in this range
+    small = result.rows[0]["rstorm_ms"]
+    large = result.rows[-1]["rstorm_ms"]
+    nodes_ratio = result.rows[-1]["nodes"] / result.rows[0]["nodes"]
+    assert large / max(small, 0.01) < nodes_ratio**2

@@ -1,0 +1,52 @@
+"""Scheduling latency — the paper's real-time requirement (Section 3).
+
+"Scheduling decisions need to be made in a snappy manner": R-Storm must
+produce assignments orders of magnitude faster than Nimbus's 10-second
+scheduling period, even on clusters much larger than the testbed.  This
+file both regenerates the latency table and microbenchmarks a single
+R-Storm scheduling round with pytest-benchmark's statistics.
+"""
+
+from conftest import persist
+
+from repro.experiments import scheduling_overhead
+from repro.scheduler.rstorm import RStormScheduler
+
+
+def test_overhead_table(benchmark):
+    result = benchmark.pedantic(
+        scheduling_overhead.run, kwargs={"repeats": 3}, rounds=1, iterations=1
+    )
+    persist(result)
+    for row in result.rows:
+        # every scheduler at every scale is far below the 10 s period
+        for column, value in row.items():
+            if column.endswith("_ms"):
+                assert value < 1000.0
+
+
+def test_rstorm_round_microbenchmark(benchmark):
+    """Statistical microbenchmark of one full R-Storm scheduling round on
+    a 64-node cluster with an 8x16-task topology."""
+
+    def schedule_once():
+        topology = scheduling_overhead.make_chain_topology(8, 16)
+        cluster = scheduling_overhead.make_cluster(64)
+        return RStormScheduler().schedule([topology], cluster)
+
+    assignments = benchmark(schedule_once)
+    assert assignments["chain"].is_complete(
+        scheduling_overhead.make_chain_topology(8, 16)
+    )
+
+
+def test_default_round_microbenchmark(benchmark):
+    from repro.scheduler.default import DefaultScheduler
+
+    def schedule_once():
+        topology = scheduling_overhead.make_chain_topology(8, 16)
+        cluster = scheduling_overhead.make_cluster(64)
+        return DefaultScheduler().schedule([topology], cluster)
+
+    assignments = benchmark(schedule_once)
+    assert len(assignments["chain"]) == 128

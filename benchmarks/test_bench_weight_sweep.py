@@ -1,0 +1,27 @@
+"""Distance-weight sweep (the paper's user-tunable soft-constraint
+weights, Section 4)."""
+
+from conftest import persist
+
+from repro.experiments import weight_sweep
+
+
+def test_weight_sweep_table(benchmark):
+    result = benchmark.pedantic(
+        weight_sweep.run, kwargs={"duration_s": 90.0}, rounds=1, iterations=1
+    )
+    persist(result)
+
+    # network emphasis buys locality on the homogeneous cluster
+    net_only = result.row_value(
+        {"weights": "net-only (cpu=0)"}, "linear_mean_netdist"
+    )
+    cpu_only = result.row_value(
+        {"weights": "cpu-only (net=0)"}, "linear_mean_netdist"
+    )
+    assert net_only <= cpu_only + 1e-9
+
+    # every weighting still beats nothing: tables are fully populated
+    for row in result.rows:
+        assert row["linear_net_tuples_per_10s"] > 0
+        assert row["pageload_hetero_tuples_per_10s"] > 0

@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Extending the library: plug in a custom scheduler.
+
+Implements a deliberately naive "pack-everything-on-one-node" scheduler
+against the same ``IScheduler`` contract R-Storm uses, then compares it,
+R-Storm, the Aniello et al. offline baseline, and default Storm on the
+network-bound Diamond micro-benchmark.
+
+Run:  python examples/custom_scheduler.py
+"""
+
+from typing import Dict, Mapping, Optional, Sequence
+
+from repro import (
+    AnielloOfflineScheduler,
+    Assignment,
+    Cluster,
+    DefaultScheduler,
+    IScheduler,
+    RStormScheduler,
+    SchedulingError,
+    SimulationConfig,
+    SimulationRun,
+    Topology,
+    emulab_testbed,
+)
+from repro.workloads import diamond_topology
+from repro.workloads.micro import NETWORK_BOUND_UPLINK_MBPS
+
+
+class OneNodeScheduler(IScheduler):
+    """Put every task of every topology into the first slot of the first
+    alive node that satisfies the memory budget.  Maximum locality,
+    catastrophic CPU contention — a useful foil for R-Storm's balance."""
+
+    name = "one-node"
+
+    def schedule(
+        self,
+        topologies: Sequence[Topology],
+        cluster: Cluster,
+        existing: Optional[Mapping[str, Assignment]] = None,
+    ) -> Dict[str, Assignment]:
+        result: Dict[str, Assignment] = {}
+        for topology in topologies:
+            placed = False
+            for node in sorted(cluster.alive_nodes, key=lambda n: n.node_id):
+                if node.available.memory_mb >= topology.total_demand().memory_mb:
+                    slot = node.slots[0]
+                    result[topology.topology_id] = Assignment(
+                        topology.topology_id,
+                        {task: slot for task in topology.tasks},
+                    )
+                    placed = True
+                    break
+            if not placed:
+                raise SchedulingError(
+                    f"no single node can hold {topology.topology_id!r}",
+                    unassigned=topology.tasks,
+                )
+        return result
+
+
+def main() -> None:
+    config = SimulationConfig(duration_s=60.0, warmup_s=15.0)
+    schedulers = [
+        RStormScheduler(),
+        DefaultScheduler(),
+        AnielloOfflineScheduler(),
+        OneNodeScheduler(),
+    ]
+    print(f"{'scheduler':18s} {'nodes':>5s} {'tuples/10s':>12s}")
+    for scheduler in schedulers:
+        topology = diamond_topology("network")
+        cluster = emulab_testbed()
+        try:
+            assignment = scheduler.schedule([topology], cluster)[
+                topology.topology_id
+            ]
+        except SchedulingError as exc:
+            print(f"{scheduler.name:18s} failed: {exc}")
+            continue
+        report = SimulationRun(
+            cluster,
+            [(topology, assignment)],
+            config,
+            interrack_uplink_mbps=NETWORK_BOUND_UPLINK_MBPS,
+        ).run()
+        throughput = report.average_throughput_per_window(topology.topology_id)
+        print(
+            f"{scheduler.name:18s} {len(assignment.nodes):5d} "
+            f"{throughput:12,.0f}"
+        )
+
+
+if __name__ == "__main__":
+    main()

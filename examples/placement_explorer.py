@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Placement exploration: visualise schedules and predict them analytically.
+
+Uses two of the library's analysis tools on the diamond micro-benchmark:
+
+* :func:`repro.scheduler.render_assignments` draws the rack/node/slot
+  placement each scheduler produced (the paper's Figure 3, in ASCII);
+* :class:`repro.analysis.FlowModel` predicts each placement's steady-state
+  throughput and names its bottleneck *without* running the simulator,
+  then the discrete-event simulator checks the prediction.
+
+Run:  python examples/placement_explorer.py
+"""
+
+from repro import DefaultScheduler, RStormScheduler, SimulationConfig, SimulationRun
+from repro.analysis import FlowModel
+from repro.cluster import emulab_testbed
+from repro.scheduler import render_assignments, render_node_loads
+from repro.workloads import diamond_topology
+from repro.workloads.micro import NETWORK_BOUND_UPLINK_MBPS
+
+
+def main() -> None:
+    for scheduler in (RStormScheduler(), DefaultScheduler()):
+        topology = diamond_topology("network")
+        cluster = emulab_testbed()
+        assignment = scheduler.schedule([topology], cluster)[
+            topology.topology_id
+        ]
+
+        print(f"=== {scheduler.name} ===")
+        print(render_assignments(cluster, [(topology, assignment)]))
+        print()
+        print(render_node_loads(cluster, [(topology, assignment)]))
+
+        flow = FlowModel(
+            cluster, interrack_uplink_mbps=NETWORK_BOUND_UPLINK_MBPS
+        ).solve([(topology, assignment)])
+        predicted = flow.throughput_per_window(topology.topology_id)
+        print(
+            f"\nflow model: {predicted:,.0f} tuples/10s predicted, "
+            f"bottleneck = {flow.bottlenecks[topology.topology_id]}"
+        )
+
+        report = SimulationRun(
+            cluster,
+            [(topology, assignment)],
+            SimulationConfig(duration_s=60.0, warmup_s=15.0),
+            interrack_uplink_mbps=NETWORK_BOUND_UPLINK_MBPS,
+        ).run()
+        measured = report.average_throughput_per_window(topology.topology_id)
+        print(f"simulator : {measured:,.0f} tuples/10s measured")
+        if predicted:
+            print(f"prediction error: {abs(measured - predicted) / predicted * 100:.0f}%")
+        print()
+
+
+if __name__ == "__main__":
+    main()

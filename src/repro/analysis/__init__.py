@@ -1,0 +1,5 @@
+"""Analytical models complementing the discrete-event simulator."""
+
+from repro.analysis.flow import FlowModel, FlowResult
+
+__all__ = ["FlowModel", "FlowResult"]

@@ -1,0 +1,115 @@
+"""Command-line interface: regenerate the paper's figures.
+
+Usage::
+
+    python -m repro list
+    python -m repro fig8 [--duration 120]
+    python -m repro all [--duration 120] [--series] [--save results/]
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import pathlib
+import sys
+from typing import List, Optional
+
+from repro.experiments import REGISTRY
+from repro.experiments.harness import ExperimentResult
+
+__all__ = ["main", "build_parser", "save_result"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="rstorm",
+        description=(
+            "Reproduce the evaluation of 'R-Storm: Resource-Aware "
+            "Scheduling in Storm' (Middleware 2015)."
+        ),
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(REGISTRY) + ["all", "list"],
+        help="experiment id (figure) to run, 'all', or 'list'",
+    )
+    parser.add_argument(
+        "--duration",
+        type=float,
+        default=120.0,
+        help="simulated seconds per run (default 120; the paper ran ~15 min)",
+    )
+    parser.add_argument(
+        "--series",
+        action="store_true",
+        help="also print per-window throughput series",
+    )
+    parser.add_argument(
+        "--save",
+        metavar="DIR",
+        default=None,
+        help="write the table (.txt) and each series (.csv) into DIR",
+    )
+    return parser
+
+
+def save_result(result: ExperimentResult, directory: str) -> List[str]:
+    """Persist a result: one text table plus one CSV per series.
+
+    Returns the written paths.
+    """
+    out_dir = pathlib.Path(directory)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    written: List[str] = []
+    table_path = out_dir / f"{result.experiment_id}.txt"
+    table_path.write_text(result.format(include_series=False) + "\n")
+    written.append(str(table_path))
+    if result.series:
+        csv_path = out_dir / f"{result.experiment_id}_series.csv"
+        starts = sorted(
+            {start for points in result.series.values() for start, _ in points}
+        )
+        labels = sorted(result.series)
+        with open(csv_path, "w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(["window_start_s"] + labels)
+            for start in starts:
+                row = [f"{start:g}"]
+                for label in labels:
+                    values = dict(result.series[label])
+                    row.append(values.get(start, ""))
+                writer.writerow(row)
+        written.append(str(csv_path))
+    return written
+
+
+def _run_one(name: str, args) -> None:
+    runner = REGISTRY[name]
+    if name == "overhead":
+        result = runner()
+    else:
+        result = runner(duration_s=args.duration)
+    print(result.format(include_series=args.series))
+    if args.save:
+        for path in save_result(result, args.save):
+            print(f"wrote {path}")
+    print()
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.experiment == "list":
+        for name in sorted(REGISTRY):
+            print(name)
+        return 0
+    if args.experiment == "all":
+        for name in sorted(REGISTRY):
+            _run_one(name, args)
+        return 0
+    _run_one(args.experiment, args)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

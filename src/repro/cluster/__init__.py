@@ -1,0 +1,46 @@
+"""Cluster substrate: resources, nodes, racks, network topography.
+
+This package models the physical environment R-Storm schedules onto — the
+paper's two-rack Emulab testbed and generalisations of it.
+"""
+
+from repro.cluster.builders import (
+    emulab_testbed,
+    heterogeneous_cluster,
+    single_rack_cluster,
+    uniform_cluster,
+)
+from repro.cluster.cluster import Cluster
+from repro.cluster.network import DistanceLevel, LinkProfile, NetworkTopography
+from repro.cluster.node import Node, WorkerSlot
+from repro.cluster.rack import Rack
+from repro.cluster.resources import (
+    BANDWIDTH,
+    CPU,
+    MEMORY,
+    ConstraintKind,
+    ResourceDimension,
+    ResourceSchema,
+    ResourceVector,
+)
+
+__all__ = [
+    "BANDWIDTH",
+    "CPU",
+    "MEMORY",
+    "Cluster",
+    "ConstraintKind",
+    "DistanceLevel",
+    "LinkProfile",
+    "NetworkTopography",
+    "Node",
+    "Rack",
+    "ResourceDimension",
+    "ResourceSchema",
+    "ResourceVector",
+    "WorkerSlot",
+    "emulab_testbed",
+    "heterogeneous_cluster",
+    "single_rack_cluster",
+    "uniform_cluster",
+]

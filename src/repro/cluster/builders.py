@@ -1,0 +1,145 @@
+"""Canned cluster builders.
+
+The most important one, :func:`emulab_testbed`, reproduces the paper's
+evaluation environment (Section 6.1): 12 worker machines split across two
+racks/VLANs, each with a single 3 GHz core (100 CPU points), 2 GB of RAM
+and a 100 Mbps NIC, with a 4 ms inter-rack round trip.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.network import (
+    DEFAULT_PROFILES,
+    DistanceLevel,
+    LinkProfile,
+    NetworkTopography,
+)
+from repro.cluster.node import Node
+from repro.cluster.rack import Rack
+from repro.cluster.resources import ResourceVector
+
+__all__ = [
+    "emulab_testbed",
+    "uniform_cluster",
+    "heterogeneous_cluster",
+    "single_rack_cluster",
+]
+
+#: Per-node budgets from the paper's testbed: one 3 GHz core, 2 GB RAM,
+#: 100 Mbps network interface.
+EMULAB_NODE_MEMORY_MB = 2048.0
+EMULAB_NODE_CPU = 100.0
+EMULAB_NODE_BANDWIDTH_MBPS = 100.0
+
+
+def _emulab_topography() -> NetworkTopography:
+    profiles = dict(DEFAULT_PROFILES)
+    profiles[DistanceLevel.INTER_RACK] = LinkProfile(
+        distance=4.0, latency_ms=2.0, bandwidth_mbps=100.0
+    )
+    profiles[DistanceLevel.INTER_NODE] = LinkProfile(
+        distance=1.0, latency_ms=0.5, bandwidth_mbps=100.0
+    )
+    return NetworkTopography(profiles)
+
+
+def emulab_testbed(
+    nodes_per_rack: int = 6,
+    racks: int = 2,
+    slots_per_node: int = 4,
+    memory_mb: float = EMULAB_NODE_MEMORY_MB,
+    cpu: float = EMULAB_NODE_CPU,
+    bandwidth_mbps: float = EMULAB_NODE_BANDWIDTH_MBPS,
+) -> Cluster:
+    """The paper's Emulab cluster: ``racks`` VLANs of ``nodes_per_rack``
+    homogeneous worker machines (default 2 x 6 = 12 workers).
+
+    The Figure 13 multi-topology experiment uses the same builder with
+    ``nodes_per_rack=12`` for its larger 24-machine cluster.
+    """
+    return uniform_cluster(
+        nodes_per_rack=nodes_per_rack,
+        racks=racks,
+        slots_per_node=slots_per_node,
+        capacity=ResourceVector.of(
+            memory_mb=memory_mb, cpu=cpu, bandwidth_mbps=bandwidth_mbps
+        ),
+        topography=_emulab_topography(),
+        name="emulab",
+    )
+
+
+def uniform_cluster(
+    nodes_per_rack: int,
+    racks: int,
+    capacity: ResourceVector,
+    slots_per_node: int = 4,
+    topography: Optional[NetworkTopography] = None,
+    name: str = "uniform",
+) -> Cluster:
+    """A homogeneous cluster of ``racks`` x ``nodes_per_rack`` nodes."""
+    if nodes_per_rack < 1 or racks < 1:
+        raise ValueError("cluster needs at least one rack with one node")
+    rack_objs: List[Rack] = []
+    for r in range(racks):
+        rack_id = f"rack-{r}"
+        nodes = [
+            Node(
+                node_id=f"node-{r}-{i}",
+                rack_id=rack_id,
+                capacity=capacity,
+                num_slots=slots_per_node,
+            )
+            for i in range(nodes_per_rack)
+        ]
+        rack_objs.append(Rack(rack_id, nodes))
+    return Cluster(rack_objs, topography or NetworkTopography(), name=name)
+
+
+def single_rack_cluster(
+    num_nodes: int,
+    capacity: Optional[ResourceVector] = None,
+    slots_per_node: int = 4,
+    name: str = "single-rack",
+) -> Cluster:
+    """One rack of homogeneous nodes — the simplest useful cluster."""
+    return uniform_cluster(
+        nodes_per_rack=num_nodes,
+        racks=1,
+        capacity=capacity
+        or ResourceVector.of(memory_mb=4096.0, cpu=400.0, bandwidth_mbps=1000.0),
+        slots_per_node=slots_per_node,
+        name=name,
+    )
+
+
+def heterogeneous_cluster(
+    rack_specs: Sequence[Sequence[ResourceVector]],
+    slots_per_node: int = 4,
+    topography: Optional[NetworkTopography] = None,
+    name: str = "heterogeneous",
+) -> Cluster:
+    """A cluster where every node's capacity is given explicitly.
+
+    Args:
+        rack_specs: one sequence of node capacity vectors per rack.
+    """
+    if not rack_specs:
+        raise ValueError("need at least one rack spec")
+    racks: List[Rack] = []
+    for r, capacities in enumerate(rack_specs):
+        rack_id = f"rack-{r}"
+        nodes = [
+            Node(
+                node_id=f"node-{r}-{i}",
+                rack_id=rack_id,
+                capacity=cap,
+                num_slots=slots_per_node,
+            )
+            for i, cap in enumerate(capacities)
+        ]
+        racks.append(Rack(rack_id, nodes))
+    return Cluster(racks, topography or NetworkTopography(), name=name)

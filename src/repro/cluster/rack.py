@@ -1,0 +1,97 @@
+"""Server racks.
+
+A rack groups nodes behind one top-of-rack switch.  R-Storm's node
+selection starts by picking the rack with the most available resources
+(Algorithm 4, lines 6-9), so racks expose aggregate capacity/availability
+scores.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional
+
+from repro.cluster.node import Node
+from repro.cluster.resources import ResourceVector
+from repro.errors import ClusterStateError
+
+__all__ = ["Rack"]
+
+
+class Rack:
+    """A named group of nodes sharing a top-of-rack switch."""
+
+    __slots__ = ("rack_id", "_nodes")
+
+    def __init__(self, rack_id: str, nodes: Optional[List[Node]] = None):
+        self.rack_id = rack_id
+        self._nodes: Dict[str, Node] = {}
+        for node in nodes or []:
+            self.add_node(node)
+
+    def add_node(self, node: Node) -> None:
+        if node.rack_id != self.rack_id:
+            raise ClusterStateError(
+                f"node {node.node_id!r} belongs to rack {node.rack_id!r}, "
+                f"not {self.rack_id!r}"
+            )
+        if node.node_id in self._nodes:
+            raise ClusterStateError(
+                f"duplicate node {node.node_id!r} in rack {self.rack_id!r}"
+            )
+        self._nodes[node.node_id] = node
+
+    def remove_node(self, node_id: str) -> Node:
+        try:
+            return self._nodes.pop(node_id)
+        except KeyError:
+            raise ClusterStateError(
+                f"no node {node_id!r} in rack {self.rack_id!r}"
+            ) from None
+
+    # -- access -------------------------------------------------------------
+
+    @property
+    def nodes(self) -> List[Node]:
+        return list(self._nodes.values())
+
+    @property
+    def alive_nodes(self) -> List[Node]:
+        return [n for n in self._nodes.values() if n.alive]
+
+    def node(self, node_id: str) -> Node:
+        try:
+            return self._nodes[node_id]
+        except KeyError:
+            raise ClusterStateError(
+                f"no node {node_id!r} in rack {self.rack_id!r}"
+            ) from None
+
+    def __contains__(self, node_id: str) -> bool:
+        return node_id in self._nodes
+
+    def __iter__(self) -> Iterator[Node]:
+        return iter(self._nodes.values())
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    # -- aggregate scoring ---------------------------------------------------
+
+    def availability_score(self) -> float:
+        """Sum of per-node normalised availability; the rack R-Storm
+        anchors a topology in is the one maximising this score."""
+        return sum(n.availability_score() for n in self.alive_nodes)
+
+    def total_available(self) -> Optional[ResourceVector]:
+        """Elementwise sum of availability over alive nodes, or ``None``
+        for an empty/dead rack."""
+        alive = self.alive_nodes
+        if not alive:
+            return None
+        total = alive[0].available
+        for node in alive[1:]:
+            total = total + node.available
+        return total
+
+    def __repr__(self) -> str:
+        return f"Rack({self.rack_id!r}, nodes={sorted(self._nodes)})"

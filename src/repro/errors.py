@@ -1,0 +1,57 @@
+"""Exception hierarchy for the R-Storm reproduction.
+
+Every error raised by this library derives from :class:`ReproError` so
+applications can catch library failures with a single ``except`` clause
+while still being able to discriminate finer-grained failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class SchemaMismatchError(ReproError):
+    """Two resource vectors with different schemas were combined."""
+
+
+class UnknownResourceError(ReproError, KeyError):
+    """A resource dimension name was not found in the schema."""
+
+
+class InsufficientResourcesError(ReproError):
+    """A hard resource constraint would be violated by a reservation."""
+
+    def __init__(self, message: str, *, node_id: str = "", resource: str = ""):
+        super().__init__(message)
+        self.node_id = node_id
+        self.resource = resource
+
+
+class TopologyValidationError(ReproError):
+    """A topology definition is structurally invalid."""
+
+
+class SchedulingError(ReproError):
+    """The scheduler could not produce a complete assignment."""
+
+    def __init__(self, message: str, *, unassigned=None):
+        super().__init__(message)
+        self.unassigned = list(unassigned) if unassigned is not None else []
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation reached an inconsistent state."""
+
+
+class ConfigError(ReproError):
+    """Invalid or missing configuration value."""
+
+
+class ClusterStateError(ReproError):
+    """The cluster model was mutated into an inconsistent state."""
+
+
+class MembershipError(ReproError):
+    """A node or supervisor referenced in coordination does not exist."""

@@ -1,0 +1,42 @@
+"""Experiments reproducing every figure of the paper's evaluation."""
+
+from typing import Callable, Dict
+
+from repro.experiments import (
+    ablations,
+    fig8_network_bound,
+    fig9_compute_bound,
+    fig10_cpu_utilization,
+    fig12_yahoo,
+    fig13_multi_topology,
+    scalability,
+    scheduling_overhead,
+    weight_sweep,
+)
+from repro.experiments.harness import (
+    ExperimentResult,
+    SingleRunOutcome,
+    format_table,
+    run_scheduled,
+)
+
+#: Registry used by the CLI and the benchmark suite.
+REGISTRY: Dict[str, Callable[..., ExperimentResult]] = {
+    "fig8": fig8_network_bound.run,
+    "fig9": fig9_compute_bound.run,
+    "fig10": fig10_cpu_utilization.run,
+    "fig12": fig12_yahoo.run,
+    "fig13": fig13_multi_topology.run,
+    "overhead": scheduling_overhead.run,
+    "ablations": ablations.run,
+    "weights": weight_sweep.run,
+    "scalability": scalability.run,
+}
+
+__all__ = [
+    "ExperimentResult",
+    "REGISTRY",
+    "SingleRunOutcome",
+    "format_table",
+    "run_scheduled",
+]

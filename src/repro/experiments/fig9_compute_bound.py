@@ -1,0 +1,75 @@
+"""Figures 9 — computation-time-bound micro-benchmark topologies.
+
+Reproduces Section 6.3.2: the same Linear/Diamond/Star layouts configured
+to burn significant CPU per tuple.  Supplied with per-component CPU
+requirements, R-Storm matches default Storm's throughput while using
+roughly half the machines (the paper: 6, 7 and 6 of 12), and for the Star
+topology beats it outright because default Storm over-utilises the
+machines where its round-robin stacked heavy tasks.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.builders import emulab_testbed
+from repro.experiments.harness import ExperimentResult, run_scheduled
+from repro.scheduler.default import DefaultScheduler
+from repro.scheduler.rstorm import RStormScheduler
+from repro.simulation.config import SimulationConfig
+from repro.workloads.micro import micro_topology
+
+__all__ = ["run", "PAPER_MACHINES"]
+
+#: Machines the paper reports R-Storm needing (vs 12 for default).
+PAPER_MACHINES = {"linear": 6, "diamond": 7, "star": 6}
+
+KINDS = ("linear", "diamond", "star")
+
+
+def run(duration_s: float = 120.0) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment_id="fig9",
+        title="Computation-bound micro-benchmarks (tuples per 10 s window)",
+    )
+    config = SimulationConfig(
+        duration_s=duration_s, warmup_s=min(20.0, duration_s / 4)
+    )
+    for kind in KINDS:
+        outcomes = {}
+        for scheduler in (RStormScheduler(), DefaultScheduler()):
+            topology = micro_topology(kind, "compute")
+            cluster = emulab_testbed()
+            outcome = run_scheduled(scheduler, [topology], cluster, config)
+            outcomes[scheduler.name] = outcome
+            result.add_series(
+                f"{kind}/{scheduler.name}",
+                outcome.report.throughput_series(topology.topology_id),
+            )
+        topo_id = f"{kind}-compute"
+        rstorm, default = outcomes["r-storm"], outcomes["default"]
+        r_thr, d_thr = rstorm.throughput(topo_id), default.throughput(topo_id)
+        result.add_row(
+            topology=kind,
+            rstorm_tuples_per_10s=round(r_thr),
+            default_tuples_per_10s=round(d_thr),
+            throughput_ratio=round(r_thr / d_thr, 2) if d_thr else float("inf"),
+            rstorm_nodes=len(rstorm.assignments[topo_id].nodes),
+            default_nodes=len(default.assignments[topo_id].nodes),
+            paper_rstorm_nodes=PAPER_MACHINES[kind],
+            rstorm_max_cpu_overcommit=round(
+                rstorm.qualities[topo_id].max_cpu_overcommit, 2
+            ),
+        )
+    result.note(
+        "Throughput is input-rate bound, so matching default Storm with "
+        "half the machines is the win; for Star, default Storm's "
+        "round-robin over-utilises the spout machines and loses outright."
+    )
+    return result
+
+
+def main() -> None:  # pragma: no cover - CLI glue
+    print(run().format())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

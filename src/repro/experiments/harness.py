@@ -1,0 +1,142 @@
+"""Shared experiment harness.
+
+Each experiment module builds topologies, schedules them with the
+schedulers under comparison, simulates, and reports rows/series through
+:class:`ExperimentResult`, which both the CLI and the pytest-benchmark
+suite consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.cluster.cluster import Cluster
+from repro.scheduler.assignment import Assignment
+from repro.scheduler.base import IScheduler
+from repro.scheduler.quality import ScheduleQuality, evaluate_assignment
+from repro.simulation.config import SimulationConfig
+from repro.simulation.report import SimulationReport
+from repro.simulation.runtime import SimulationRun
+from repro.topology.topology import Topology
+
+__all__ = ["ExperimentResult", "SingleRunOutcome", "run_scheduled", "format_table"]
+
+
+@dataclass
+class SingleRunOutcome:
+    """Everything measured for one (topology set, scheduler) simulation."""
+
+    scheduler: str
+    report: SimulationReport
+    assignments: Dict[str, Assignment]
+    qualities: Dict[str, ScheduleQuality]
+    scheduling_latency_s: float
+
+    def throughput(self, topology_id: str) -> float:
+        return self.report.average_throughput_per_window(topology_id)
+
+
+@dataclass
+class ExperimentResult:
+    """Rows + time series + free-form notes for one experiment."""
+
+    experiment_id: str
+    title: str
+    rows: List[Dict[str, Any]] = field(default_factory=list)
+    series: Dict[str, List[Tuple[float, int]]] = field(default_factory=dict)
+    notes: List[str] = field(default_factory=list)
+
+    def add_row(self, **fields: Any) -> None:
+        self.rows.append(fields)
+
+    def add_series(self, label: str, points: Sequence[Tuple[float, int]]) -> None:
+        self.series[label] = list(points)
+
+    def note(self, text: str) -> None:
+        self.notes.append(text)
+
+    def format(self, include_series: bool = False) -> str:
+        lines = [f"== {self.experiment_id}: {self.title} =="]
+        if self.rows:
+            lines.append(format_table(self.rows))
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        if include_series:
+            for label, points in self.series.items():
+                compact = " ".join(f"{int(v)}" for _, v in points)
+                lines.append(f"series {label}: {compact}")
+        return "\n".join(lines)
+
+    def row_value(self, match: Mapping[str, Any], column: str) -> Any:
+        """Look up a single cell: the first row whose fields contain
+        ``match`` returns its ``column`` value."""
+        for row in self.rows:
+            if all(row.get(k) == v for k, v in match.items()):
+                return row[column]
+        raise KeyError(f"no row matching {dict(match)!r}")
+
+
+def format_table(rows: Sequence[Mapping[str, Any]]) -> str:
+    """Render dict-rows as an aligned text table."""
+    if not rows:
+        return "(no rows)"
+    columns: List[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+
+    def cell(value: Any) -> str:
+        if isinstance(value, float):
+            return f"{value:,.1f}"
+        return str(value)
+
+    widths = {
+        col: max(len(col), *(len(cell(row.get(col, ""))) for row in rows))
+        for col in columns
+    }
+    header = "  ".join(col.ljust(widths[col]) for col in columns)
+    sep = "  ".join("-" * widths[col] for col in columns)
+    body = [
+        "  ".join(cell(row.get(col, "")).rjust(widths[col]) for col in columns)
+        for row in rows
+    ]
+    return "\n".join([header, sep] + body)
+
+
+def run_scheduled(
+    scheduler: IScheduler,
+    topologies: Sequence[Topology],
+    cluster: Cluster,
+    config: SimulationConfig,
+    interrack_uplink_mbps: Optional[float] = None,
+) -> SingleRunOutcome:
+    """Schedule ``topologies`` onto ``cluster`` and simulate them."""
+    round_info = scheduler.run(topologies, cluster)
+    assignments = round_info.assignments
+    qualities = {}
+    extra = {
+        t.topology_id: (t, assignments[t.topology_id]) for t in topologies
+    }
+    for topology in topologies:
+        others = {
+            tid: pair for tid, pair in extra.items() if tid != topology.topology_id
+        }
+        qualities[topology.topology_id] = evaluate_assignment(
+            topology, assignments[topology.topology_id], cluster, others
+        )
+    run = SimulationRun(
+        cluster,
+        [(t, assignments[t.topology_id]) for t in topologies],
+        config,
+        interrack_uplink_mbps=interrack_uplink_mbps,
+    )
+    report = run.run()
+    return SingleRunOutcome(
+        scheduler=scheduler.name,
+        report=report,
+        assignments=assignments,
+        qualities=qualities,
+        scheduling_latency_s=round_info.duration_s,
+    )

@@ -1,0 +1,18 @@
+"""Coordination plane: Nimbus master, supervisors, ZooKeeper, config."""
+
+from repro.nimbus.config import StormConfig, parse_storm_yaml
+from repro.nimbus.failure_detector import HeartbeatFailureDetector
+from repro.nimbus.nimbus import Nimbus
+from repro.nimbus.supervisor import SUPERVISORS_PATH, Supervisor
+from repro.nimbus.zookeeper import InMemoryZooKeeper, ZNode
+
+__all__ = [
+    "HeartbeatFailureDetector",
+    "InMemoryZooKeeper",
+    "Nimbus",
+    "SUPERVISORS_PATH",
+    "StormConfig",
+    "Supervisor",
+    "ZNode",
+    "parse_storm_yaml",
+]

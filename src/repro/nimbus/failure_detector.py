@@ -1,0 +1,112 @@
+"""Heartbeat-based failure detection.
+
+The in-memory ZooKeeper expires a supervisor's session instantly when
+:meth:`Supervisor.crash` is called — convenient for tests, but real
+clusters detect failure by *missed heartbeats* after a timeout.  This
+module provides that behaviour for simulated runs: supervisors heartbeat
+periodically in simulated time, and the detector expires sessions whose
+last heartbeat is older than the timeout, at which point Nimbus's
+membership reconciliation sees the node disappear.
+
+Wiring it up::
+
+    detector = HeartbeatFailureDetector(supervisors, timeout_s=15.0)
+    detector.attach(run)        # heartbeats + checks inside the DES
+    nimbus.attach(run)          # scheduling ticks observe the expiry
+
+Killing a machine then becomes ``detector.silence(node_id)`` (the
+supervisor simply stops heartbeating), and recovery takes one timeout
+plus one scheduling period — the end-to-end failover latency the paper's
+"snappy rescheduling" requirement is about.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from repro.errors import MembershipError
+from repro.nimbus.supervisor import Supervisor
+
+__all__ = ["HeartbeatFailureDetector"]
+
+
+class HeartbeatFailureDetector:
+    """Drives supervisor heartbeats and expires silent ones.
+
+    Args:
+        supervisors: The supervisors to manage (must be started).
+        heartbeat_interval_s: Simulated seconds between heartbeats.
+        timeout_s: A supervisor whose last heartbeat is older than this
+            is declared dead (its ZooKeeper session expires and its node
+            is failed).  Must exceed the heartbeat interval.
+    """
+
+    def __init__(
+        self,
+        supervisors: Iterable[Supervisor],
+        heartbeat_interval_s: float = 3.0,
+        timeout_s: float = 10.0,
+    ):
+        self.supervisors: Dict[str, Supervisor] = {
+            s.supervisor_id: s for s in supervisors
+        }
+        if heartbeat_interval_s <= 0:
+            raise ValueError("heartbeat_interval_s must be positive")
+        if timeout_s <= heartbeat_interval_s:
+            raise ValueError("timeout_s must exceed the heartbeat interval")
+        self.heartbeat_interval_s = heartbeat_interval_s
+        self.timeout_s = timeout_s
+        self._silenced: set = set()
+        #: (time, node_id) of every expiry declared
+        self.expirations: List[tuple] = []
+
+    # -- control -------------------------------------------------------------
+
+    def silence(self, node_id: str) -> None:
+        """The machine stops heartbeating (crash/partition); detection
+        happens after the timeout, not instantly."""
+        if node_id not in self.supervisors:
+            raise MembershipError(f"unknown supervisor {node_id!r}")
+        self._silenced.add(node_id)
+        self.supervisors[node_id].node.fail()
+
+    def revive(self, node_id: str, now: float = 0.0) -> None:
+        """The machine returns and re-registers."""
+        supervisor = self.supervisors.get(node_id)
+        if supervisor is None:
+            raise MembershipError(f"unknown supervisor {node_id!r}")
+        self._silenced.discard(node_id)
+        supervisor.node.recover()
+        if not supervisor.registered:
+            supervisor.start(now)
+
+    def is_silenced(self, node_id: str) -> bool:
+        return node_id in self._silenced
+
+    # -- simulation wiring --------------------------------------------------------
+
+    def attach(self, run) -> None:
+        """Schedule heartbeats and expiry checks inside ``run``."""
+
+        def beat() -> None:
+            now = run.sim.now
+            for node_id, supervisor in self.supervisors.items():
+                if node_id in self._silenced:
+                    continue
+                if supervisor.registered:
+                    supervisor.heartbeat(now)
+            run.on_time(now + self.heartbeat_interval_s, beat)
+
+        def check() -> None:
+            now = run.sim.now
+            for node_id, supervisor in self.supervisors.items():
+                if not supervisor.registered:
+                    continue
+                if now - supervisor.last_heartbeat > self.timeout_s:
+                    supervisor.stop()  # session expiry
+                    supervisor.node.fail()
+                    self.expirations.append((now, node_id))
+            run.on_time(now + self.heartbeat_interval_s, check)
+
+        run.on_time(self.heartbeat_interval_s, beat)
+        run.on_time(self.heartbeat_interval_s * 1.5, check)

@@ -1,0 +1,180 @@
+"""Nimbus — the master daemon.
+
+Owns the submitted-topology set, invokes the configured scheduler
+periodically (default every 10 seconds, paper Section 5), reconciles
+membership changes observed through ZooKeeper, and — when attached to a
+:class:`~repro.simulation.runtime.SimulationRun` — migrates running tasks
+onto new assignments after failures.
+
+Nimbus is stateless with respect to the scheduler: every round the
+scheduler rebuilds whatever it needs from the cluster and the live
+assignments, exactly as the paper describes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional
+
+from repro.cluster.cluster import Cluster
+from repro.errors import MembershipError, SchedulingError
+from repro.nimbus.config import StormConfig
+from repro.nimbus.supervisor import SUPERVISORS_PATH, Supervisor
+from repro.nimbus.zookeeper import InMemoryZooKeeper
+from repro.scheduler.assignment import Assignment
+from repro.scheduler.base import IScheduler, SchedulingRound
+from repro.topology.task import task_label
+from repro.topology.topology import Topology
+
+__all__ = ["Nimbus"]
+
+
+class Nimbus:
+    """The master node daemon."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        scheduler: Optional[IScheduler] = None,
+        zk: Optional[InMemoryZooKeeper] = None,
+        config: Optional[StormConfig] = None,
+    ):
+        self.cluster = cluster
+        self.config = config or StormConfig()
+        self.scheduler = scheduler or self.config.make_scheduler()
+        self.zk = zk or InMemoryZooKeeper()
+        self.zk.ensure_path(SUPERVISORS_PATH)
+        self._topologies: Dict[str, Topology] = {}
+        self._submission_order: List[str] = []
+        self.assignments: Dict[str, Assignment] = {}
+        self.rounds: List[SchedulingRound] = []
+
+    # -- topology lifecycle ---------------------------------------------------
+
+    def submit_topology(self, topology: Topology) -> None:
+        """Register a topology for scheduling (takes effect next round)."""
+        if topology.topology_id in self._topologies:
+            raise SchedulingError(
+                f"topology {topology.topology_id!r} is already submitted"
+            )
+        self._topologies[topology.topology_id] = topology
+        self._submission_order.append(topology.topology_id)
+
+    def kill_topology(self, topology_id: str) -> None:
+        """Remove a topology and release its resource reservations."""
+        topology = self._topologies.pop(topology_id, None)
+        if topology is None:
+            raise SchedulingError(f"no topology {topology_id!r} submitted")
+        self._submission_order.remove(topology_id)
+        self.assignments.pop(topology_id, None)
+        prefix = f"{topology_id}:"
+        for node in self.cluster.nodes:
+            for label in list(node.reservations):
+                if label.startswith(prefix):
+                    node.release(label)
+
+    @property
+    def topologies(self) -> List[Topology]:
+        return [self._topologies[tid] for tid in self._submission_order]
+
+    def topology(self, topology_id: str) -> Topology:
+        try:
+            return self._topologies[topology_id]
+        except KeyError:
+            raise SchedulingError(f"no topology {topology_id!r} submitted") from None
+
+    # -- membership ----------------------------------------------------------------
+
+    def registered_supervisors(self) -> List[str]:
+        return self.zk.children(SUPERVISORS_PATH)
+
+    def reconcile_membership(self) -> List[str]:
+        """Sync cluster liveness with the ZooKeeper supervisor registry.
+
+        A node with no registered supervisor is marked dead; a registered
+        node that was dead is revived.  Returns node ids whose liveness
+        changed.  Clusters used without supervisors (library-only use)
+        are untouched: an empty registry means membership is unmanaged.
+        """
+        registered = set(self.registered_supervisors())
+        if not registered:
+            return []
+        changed: List[str] = []
+        for node in self.cluster.nodes:
+            should_be_alive = node.node_id in registered
+            if node.alive != should_be_alive:
+                if should_be_alive:
+                    node.recover()
+                else:
+                    node.fail()
+                changed.append(node.node_id)
+        return changed
+
+    def register_supervisor(self, supervisor: Supervisor, now: float = 0.0) -> None:
+        """Convenience: start a supervisor against this Nimbus's ZooKeeper
+        and add its node to the cluster if new."""
+        if supervisor.zk is not self.zk:
+            raise MembershipError(
+                "supervisor is bound to a different ZooKeeper ensemble"
+            )
+        if not self.cluster.has_node(supervisor.node.node_id):
+            self.cluster.add_node(supervisor.node)
+        supervisor.start(now)
+
+    # -- scheduling ----------------------------------------------------------------
+
+    def _live_assignments(self) -> Dict[str, Assignment]:
+        """Existing assignments restricted to alive nodes — dead-node
+        placements are dropped so the scheduler re-places those tasks and
+        their stale reservations are released."""
+        alive = {n.node_id for n in self.cluster.alive_nodes}
+        live: Dict[str, Assignment] = {}
+        for topo_id, assignment in self.assignments.items():
+            if topo_id not in self._topologies:
+                continue
+            surviving = assignment.restricted_to_nodes(alive)
+            dropped = set(assignment.tasks) - set(surviving.tasks)
+            for task in dropped:
+                node_id = assignment.node_of(task)
+                if self.cluster.has_node(node_id):
+                    node = self.cluster.node(node_id)
+                    if task_label(task) in node.reservations:
+                        node.release(task_label(task))
+            live[topo_id] = surviving
+        return live
+
+    def schedule_round(self) -> SchedulingRound:
+        """One scheduler invocation: reconcile membership, call the
+        scheduler with live assignments, adopt the result."""
+        self.reconcile_membership()
+        existing = self._live_assignments()
+        round_info = self.scheduler.run(self.topologies, self.cluster, existing)
+        self.assignments.update(round_info.assignments)
+        self.rounds.append(round_info)
+        return round_info
+
+    # -- simulation integration ---------------------------------------------------------
+
+    def attach(self, run, interval_s: Optional[float] = None) -> None:
+        """Drive periodic scheduling inside a simulation.
+
+        Every ``interval_s`` (default from config: 10 s) of simulated
+        time, Nimbus reconciles membership and reschedules; topologies
+        whose assignment changed are migrated in the running simulation.
+        """
+        period = interval_s or self.config.scheduling_interval_s
+
+        def tick() -> None:
+            before = dict(self.assignments)
+            try:
+                self.schedule_round()
+            except SchedulingError:
+                # Nothing feasible this round (e.g. mid-outage); retry on
+                # the next tick, as Nimbus does.
+                pass
+            else:
+                for topo_id, assignment in self.assignments.items():
+                    if before.get(topo_id) != assignment:
+                        run.migrate(topo_id, assignment)
+            run.on_time(run.sim.now + period, tick)
+
+        run.on_time(period, tick)

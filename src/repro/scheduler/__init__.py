@@ -1,0 +1,41 @@
+"""Schedulers: R-Storm (the paper's contribution) and baselines."""
+
+from repro.scheduler.aniello import AnielloOfflineScheduler
+from repro.scheduler.assignment import Assignment
+from repro.scheduler.base import IScheduler, SchedulingRound
+from repro.scheduler.default import DefaultScheduler, interleaved_slots
+from repro.scheduler.global_state import GlobalState
+from repro.scheduler.ordering import (
+    TaskOrderingStrategy,
+    interleave_component_tasks,
+    ordered_tasks,
+)
+from repro.scheduler.quality import (
+    ScheduleQuality,
+    aggregate_node_load,
+    evaluate_assignment,
+)
+from repro.scheduler.rebalance import OnlineRebalancer
+from repro.scheduler.rstorm import DistanceWeights, RStormScheduler
+from repro.scheduler.visualise import render_assignments, render_node_loads
+
+__all__ = [
+    "AnielloOfflineScheduler",
+    "Assignment",
+    "DefaultScheduler",
+    "DistanceWeights",
+    "GlobalState",
+    "IScheduler",
+    "OnlineRebalancer",
+    "RStormScheduler",
+    "ScheduleQuality",
+    "SchedulingRound",
+    "TaskOrderingStrategy",
+    "aggregate_node_load",
+    "evaluate_assignment",
+    "interleave_component_tasks",
+    "interleaved_slots",
+    "ordered_tasks",
+    "render_assignments",
+    "render_node_loads",
+]

@@ -1,0 +1,126 @@
+"""Schedule assignments.
+
+An :class:`Assignment` is the output of a scheduler for one topology: a
+complete mapping from every task to a worker slot.  Assignments are
+immutable value objects; the mutable bookkeeping used *while* scheduling
+lives in :class:`~repro.scheduler.global_state.GlobalState`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Set, Tuple
+
+from repro.cluster.node import WorkerSlot
+from repro.errors import SchedulingError
+from repro.topology.task import Task
+from repro.topology.topology import Topology
+
+__all__ = ["Assignment"]
+
+
+class Assignment:
+    """An immutable task -> worker-slot mapping for one topology."""
+
+    __slots__ = ("topology_id", "_slot_of", "_tasks_by_slot", "_tasks_by_node")
+
+    def __init__(self, topology_id: str, mapping: Mapping[Task, WorkerSlot]):
+        self.topology_id = topology_id
+        for task in mapping:
+            if task.topology_id != topology_id:
+                raise SchedulingError(
+                    f"task {task} does not belong to topology {topology_id!r}"
+                )
+        self._slot_of: Dict[Task, WorkerSlot] = dict(mapping)
+        self._tasks_by_slot: Dict[WorkerSlot, Tuple[Task, ...]] = {}
+        self._tasks_by_node: Dict[str, Tuple[Task, ...]] = {}
+        by_slot: Dict[WorkerSlot, List[Task]] = {}
+        by_node: Dict[str, List[Task]] = {}
+        for task, slot in self._slot_of.items():
+            by_slot.setdefault(slot, []).append(task)
+            by_node.setdefault(slot.node_id, []).append(task)
+        for slot, tasks in by_slot.items():
+            self._tasks_by_slot[slot] = tuple(sorted(tasks))
+        for node_id, tasks in by_node.items():
+            self._tasks_by_node[node_id] = tuple(sorted(tasks))
+
+    # -- queries -------------------------------------------------------------
+
+    def slot_of(self, task: Task) -> WorkerSlot:
+        try:
+            return self._slot_of[task]
+        except KeyError:
+            raise SchedulingError(f"task {task} is not assigned") from None
+
+    def node_of(self, task: Task) -> str:
+        return self.slot_of(task).node_id
+
+    def has(self, task: Task) -> bool:
+        return task in self._slot_of
+
+    @property
+    def tasks(self) -> Tuple[Task, ...]:
+        return tuple(sorted(self._slot_of))
+
+    @property
+    def slots(self) -> Tuple[WorkerSlot, ...]:
+        return tuple(sorted(self._tasks_by_slot))
+
+    @property
+    def nodes(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._tasks_by_node))
+
+    def tasks_on_slot(self, slot: WorkerSlot) -> Tuple[Task, ...]:
+        return self._tasks_by_slot.get(slot, ())
+
+    def tasks_on_node(self, node_id: str) -> Tuple[Task, ...]:
+        return self._tasks_by_node.get(node_id, ())
+
+    def is_complete(self, topology: Topology) -> bool:
+        """True if every task of ``topology`` is assigned."""
+        return set(topology.tasks) == set(self._slot_of)
+
+    def missing_tasks(self, topology: Topology) -> Tuple[Task, ...]:
+        return tuple(sorted(set(topology.tasks) - set(self._slot_of)))
+
+    def as_dict(self) -> Dict[Task, WorkerSlot]:
+        return dict(self._slot_of)
+
+    def restricted_to_nodes(self, node_ids: Iterable[str]) -> "Assignment":
+        """The sub-assignment on the given nodes (used when reconciling
+        after node failures: keep what survived, reschedule the rest)."""
+        keep = set(node_ids)
+        return Assignment(
+            self.topology_id,
+            {t: s for t, s in self._slot_of.items() if s.node_id in keep},
+        )
+
+    def merged_with(self, other: "Assignment") -> "Assignment":
+        """Union of two partial assignments for the same topology; the
+        other assignment wins on conflicts."""
+        if other.topology_id != self.topology_id:
+            raise SchedulingError(
+                "cannot merge assignments of different topologies"
+            )
+        merged = dict(self._slot_of)
+        merged.update(other._slot_of)
+        return Assignment(self.topology_id, merged)
+
+    def __len__(self) -> int:
+        return len(self._slot_of)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Assignment):
+            return NotImplemented
+        return (
+            self.topology_id == other.topology_id
+            and self._slot_of == other._slot_of
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.topology_id, frozenset(self._slot_of.items())))
+
+    def __repr__(self) -> str:
+        return (
+            f"Assignment({self.topology_id!r}, tasks={len(self._slot_of)}, "
+            f"nodes={len(self._tasks_by_node)})"
+        )

@@ -1,0 +1,74 @@
+"""Task selection — Algorithm 3 of the paper.
+
+Given a component ordering (BFS from the spouts by default, Algorithm 2),
+the task ordering repeatedly sweeps the component list taking one task
+from each component that still has tasks left.  Adjacent components thus
+contribute tasks in close succession, and the greedy node selection packs
+them onto nearby nodes — the paper's first desired property.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, Dict, List, Sequence
+
+from repro.topology.task import Task
+from repro.topology.topology import Topology
+from repro.topology.traversal import (
+    bfs_component_order,
+    dfs_component_order,
+    topological_component_order,
+)
+
+__all__ = ["TaskOrderingStrategy", "ordered_tasks", "interleave_component_tasks"]
+
+
+class TaskOrderingStrategy(enum.Enum):
+    """How components are linearised before task interleaving.
+
+    BFS is the paper's choice; DFS and TOPOLOGICAL are ablation baselines
+    (DESIGN.md, "design choices called out for ablation").
+    """
+
+    BFS = "bfs"
+    DFS = "dfs"
+    TOPOLOGICAL = "topological"
+
+
+_ORDERERS: Dict[TaskOrderingStrategy, Callable[[Topology], List[str]]] = {
+    TaskOrderingStrategy.BFS: bfs_component_order,
+    TaskOrderingStrategy.DFS: dfs_component_order,
+    TaskOrderingStrategy.TOPOLOGICAL: topological_component_order,
+}
+
+
+def interleave_component_tasks(
+    topology: Topology, component_order: Sequence[str]
+) -> List[Task]:
+    """Algorithm 3's while-loop: sweep the component ordering, taking one
+    task per component per sweep, until every task is taken."""
+    remaining: Dict[str, List[Task]] = {
+        name: list(topology.tasks_of(name)) for name in component_order
+    }
+    ordering: List[Task] = []
+    total = sum(len(ts) for ts in remaining.values())
+    while len(ordering) < total:
+        progressed = False
+        for name in component_order:
+            tasks = remaining[name]
+            if tasks:
+                ordering.append(tasks.pop(0))
+                progressed = True
+        if not progressed:  # pragma: no cover - defensive
+            break
+    return ordering
+
+
+def ordered_tasks(
+    topology: Topology,
+    strategy: TaskOrderingStrategy = TaskOrderingStrategy.BFS,
+) -> List[Task]:
+    """The full task-selection procedure: component linearisation followed
+    by round-robin task interleaving."""
+    component_order = _ORDERERS[strategy](topology)
+    return interleave_component_tasks(topology, component_order)

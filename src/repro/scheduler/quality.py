@@ -1,0 +1,133 @@
+"""Schedule quality metrics.
+
+Static (pre-simulation) measures of how good an assignment is: how many
+machines it touches, how much network distance communicating task pairs
+pay, how balanced the load is, and whether any hard constraint is
+over-committed.  The experiments report these alongside the simulated
+throughput to explain *why* one scheduler beats another.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.network import DistanceLevel
+from repro.cluster.resources import ResourceVector
+from repro.scheduler.assignment import Assignment
+from repro.topology.topology import Topology
+
+__all__ = ["ScheduleQuality", "evaluate_assignment", "aggregate_node_load"]
+
+
+@dataclass(frozen=True)
+class ScheduleQuality:
+    """Summary statistics for one topology's assignment.
+
+    Attributes:
+        topology_id: The topology measured.
+        nodes_used: Distinct nodes hosting at least one task.
+        slots_used: Distinct worker slots used.
+        task_pairs: Communicating task pairs (producer task x consumer
+            task over every stream edge).
+        total_network_distance: Sum of abstract network distance over all
+            communicating pairs (lower = better locality).
+        mean_network_distance: ``total_network_distance / task_pairs``.
+        pairs_by_level: Communicating pairs bucketed by locality level.
+        hard_violations: Count of (node, dimension) pairs where summed
+            hard demand exceeds capacity — always 0 for R-Storm.
+        max_cpu_overcommit: Largest per-node ratio of summed CPU demand to
+            capacity (1.0 = exactly full; >1 over-committed).
+    """
+
+    topology_id: str
+    nodes_used: int
+    slots_used: int
+    task_pairs: int
+    total_network_distance: float
+    mean_network_distance: float
+    pairs_by_level: Dict[DistanceLevel, int]
+    hard_violations: int
+    max_cpu_overcommit: float
+
+
+def _edge_task_pairs(topology: Topology) -> List[Tuple[object, object]]:
+    pairs = []
+    for source, target, _ in topology.edges():
+        for producer in topology.tasks_of(source):
+            for consumer in topology.tasks_of(target):
+                pairs.append((producer, consumer))
+    return pairs
+
+
+def evaluate_assignment(
+    topology: Topology,
+    assignment: Assignment,
+    cluster: Cluster,
+    extra_assignments: Optional[Mapping[str, Tuple[Topology, Assignment]]] = None,
+) -> ScheduleQuality:
+    """Compute :class:`ScheduleQuality` for one topology's assignment.
+
+    Args:
+        extra_assignments: Other topologies sharing the cluster
+            (topology_id -> (topology, assignment)); their demands count
+            toward the violation/over-commit figures since they share
+            node budgets.
+    """
+    pairs = _edge_task_pairs(topology)
+    total_distance = 0.0
+    by_level: Dict[DistanceLevel, int] = {level: 0 for level in DistanceLevel}
+    for producer, consumer in pairs:
+        slot_p = assignment.slot_of(producer)
+        slot_c = assignment.slot_of(consumer)
+        level = cluster.slot_distance_level(slot_p, slot_c)
+        by_level[level] += 1
+        total_distance += cluster.topography.distance(level)
+
+    load = aggregate_node_load(
+        [(topology, assignment)]
+        + [pair for pair in (extra_assignments or {}).values()]
+    )
+    hard_violations = 0
+    max_cpu_overcommit = 0.0
+    for node_id, demand in load.items():
+        node = cluster.node(node_id)
+        for dim in node.schema.hard_names:
+            if demand[dim] > node.capacity[dim] + 1e-9:
+                hard_violations += 1
+        cpu_cap = node.capacity["cpu"]
+        if cpu_cap > 0:
+            max_cpu_overcommit = max(
+                max_cpu_overcommit, demand["cpu"] / cpu_cap
+            )
+
+    return ScheduleQuality(
+        topology_id=topology.topology_id,
+        nodes_used=len(assignment.nodes),
+        slots_used=len(assignment.slots),
+        task_pairs=len(pairs),
+        total_network_distance=total_distance,
+        mean_network_distance=(
+            total_distance / len(pairs) if pairs else 0.0
+        ),
+        pairs_by_level=by_level,
+        hard_violations=hard_violations,
+        max_cpu_overcommit=max_cpu_overcommit,
+    )
+
+
+def aggregate_node_load(
+    placements: Sequence[Tuple[Topology, Assignment]],
+) -> Dict[str, ResourceVector]:
+    """Summed declared demand per node across the given placements."""
+    load: Dict[str, ResourceVector] = {}
+    for topology, assignment in placements:
+        for task in assignment.tasks:
+            node_id = assignment.node_of(task)
+            demand = topology.task_demand(task)
+            if node_id in load:
+                load[node_id] = load[node_id] + demand
+            else:
+                load[node_id] = demand
+    return load

@@ -1,0 +1,291 @@
+"""The R-Storm resource-aware scheduler (Algorithms 1, 3 and 4).
+
+Scheduling proceeds in two phases per topology:
+
+1. **Task selection** (Algorithm 3): BFS over components from the spouts,
+   tasks interleaved round-robin across components, so communicating
+   tasks are adjacent in the ordering.
+2. **Node selection** (Algorithm 4): each task goes to the feasible node
+   minimising a weighted Euclidean distance in resource space.  The first
+   task anchors on the *ref node* — the node with the most available
+   resources inside the rack with the most available resources — and
+   every subsequent distance includes a network-distance term from the
+   ref node, so tasks pack tightly on or around the anchor.
+
+Hard constraints (memory) are never violated: nodes that cannot host a
+task's memory demand are filtered out before the distance comparison.
+Soft constraints (CPU, bandwidth) may be over-committed; minimising the
+squared availability-demand gap simultaneously avoids both waste
+(availability far above demand) and heavy over-commit (availability far
+below demand).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.node import Node, WorkerSlot
+from repro.cluster.rack import Rack
+from repro.cluster.resources import BANDWIDTH, ResourceVector
+from repro.errors import SchedulingError
+from repro.scheduler.assignment import Assignment
+from repro.scheduler.base import IScheduler
+from repro.scheduler.global_state import GlobalState
+from repro.scheduler.ordering import TaskOrderingStrategy, ordered_tasks
+from repro.topology.task import Task
+from repro.topology.topology import Topology
+
+__all__ = ["DistanceWeights", "RStormScheduler"]
+
+
+@dataclass(frozen=True)
+class DistanceWeights:
+    """Weights of the node-selection distance (the paper's ``weight_m``,
+    ``weight_c``, ``weight_b``).
+
+    ``network`` weights the network-distance term that stands in for the
+    bandwidth dimension; ``memory`` and ``cpu`` weight the squared
+    availability-demand gaps.  With capacity-normalised gaps the defaults
+    put all three terms on a comparable scale.
+    """
+
+    memory: float = 0.5
+    cpu: float = 1.0
+    network: float = 1.0
+
+    def __post_init__(self) -> None:
+        for name in ("memory", "cpu", "network"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"distance weight {name!r} must be >= 0")
+
+
+class RStormScheduler(IScheduler):
+    """Resource-aware scheduler from the paper.
+
+    Args:
+        weights: Distance weights (see :class:`DistanceWeights`).
+        ordering: Component linearisation strategy (BFS is the paper's;
+            DFS/TOPOLOGICAL exist for ablations).
+        normalise_gaps: Divide availability-demand gaps by node capacity
+            before squaring, so megabytes and CPU points are comparable.
+            Disabling this reproduces the naive unnormalised distance.
+        use_network_distance: Include the ref-node network-distance term.
+            Disabling it ablates the paper's locality optimisation.
+        prefer_no_overcommit: Prefer nodes whose *soft* availability also
+            covers the demand, over-committing soft resources only when no
+            such node exists.  This mirrors how the production
+            Resource-Aware Scheduler fills nodes to (not past) capacity
+            while retaining the paper's soft-constraint semantics — soft
+            budgets can still be exceeded when the cluster is tight.
+        best_effort: If True, tasks with no feasible node are left
+            unassigned (partial assignment) instead of raising
+            :class:`~repro.errors.SchedulingError`.
+    """
+
+    name = "r-storm"
+
+    def __init__(
+        self,
+        weights: DistanceWeights = DistanceWeights(),
+        ordering: TaskOrderingStrategy = TaskOrderingStrategy.BFS,
+        normalise_gaps: bool = True,
+        use_network_distance: bool = True,
+        prefer_no_overcommit: bool = True,
+        best_effort: bool = False,
+    ):
+        self.weights = weights
+        self.ordering = ordering
+        self.normalise_gaps = normalise_gaps
+        self.use_network_distance = use_network_distance
+        self.prefer_no_overcommit = prefer_no_overcommit
+        self.best_effort = best_effort
+
+    # -- IScheduler ---------------------------------------------------------
+
+    def schedule(
+        self,
+        topologies: Sequence[Topology],
+        cluster: Cluster,
+        existing: Optional[Mapping[str, Assignment]] = None,
+    ) -> Dict[str, Assignment]:
+        topo_by_id = {t.topology_id: t for t in topologies}
+        state = GlobalState.from_assignments(
+            cluster, topo_by_id, existing or {}, reserve=True
+        )
+        result: Dict[str, Assignment] = {}
+        for topology in topologies:
+            self._schedule_topology(topology, cluster, state)
+            result[topology.topology_id] = state.assignment_for(
+                topology.topology_id
+            )
+        return result
+
+    # -- per-topology scheduling ----------------------------------------------
+
+    def _schedule_topology(
+        self, topology: Topology, cluster: Cluster, state: GlobalState
+    ) -> None:
+        pending = [
+            task
+            for task in ordered_tasks(topology, self.ordering)
+            if not state.is_placed(task)
+        ]
+        if not pending:
+            return
+        ref_node = self._initial_ref_node(topology, cluster, state)
+        placed_this_round: List[Task] = []
+        try:
+            for task in pending:
+                demand = topology.task_demand(task)
+                node = self._select_node(cluster, demand, ref_node)
+                if node is None:
+                    if self.best_effort:
+                        continue
+                    raise SchedulingError(
+                        f"no feasible node for task {task} "
+                        f"(demand {demand!r}): every alive node violates a "
+                        f"hard constraint",
+                        unassigned=[
+                            t for t in pending if not state.is_placed(t)
+                        ],
+                    )
+                if ref_node is None:
+                    ref_node = node
+                slot = state.slot_for_topology_on_node(
+                    topology.topology_id, node
+                )
+                state.place(task, slot, demand)
+                placed_this_round.append(task)
+        except SchedulingError:
+            # Assignment is atomic per topology (paper Section 4.1): undo
+            # this topology's partial placements before propagating.
+            for task in placed_this_round:
+                state.unplace(task)
+            raise
+
+    def _initial_ref_node(
+        self, topology: Topology, cluster: Cluster, state: GlobalState
+    ) -> Optional[Node]:
+        """Resume anchoring for partially-scheduled topologies: the node
+        already hosting the most of this topology's tasks.  Fresh
+        topologies anchor lazily via :meth:`_find_ref_node` once the first
+        task's feasible set is known."""
+        counts: Dict[str, int] = {}
+        for task in state.placed_tasks(topology.topology_id):
+            node_id = state.node_of(task)
+            if node_id is not None:
+                counts[node_id] = counts.get(node_id, 0) + 1
+        if not counts:
+            return None
+        best = max(sorted(counts), key=lambda n: counts[n])
+        return cluster.node(best)
+
+    # -- node selection (Algorithm 4) -----------------------------------------
+
+    def _select_node(
+        self,
+        cluster: Cluster,
+        demand: ResourceVector,
+        ref_node: Optional[Node],
+    ) -> Optional[Node]:
+        feasible = [n for n in cluster.alive_nodes if n.can_host(demand)]
+        if not feasible:
+            return None
+        if self.prefer_no_overcommit:
+            uncommitted = [
+                n for n in feasible if n.available.dominates(demand)
+            ]
+            if uncommitted:
+                feasible = uncommitted
+        if ref_node is None:
+            anchor = self._find_ref_node(cluster, feasible)
+            if anchor is not None:
+                return anchor
+            ref_node = feasible[0]
+
+        def sort_key(node: Node) -> Tuple[float, str]:
+            net = cluster.node_distance(node.node_id, ref_node.node_id)
+            return (self.distance(node, demand, net), node.node_id)
+
+        return min(feasible, key=sort_key)
+
+    @staticmethod
+    def _find_ref_node(
+        cluster: Cluster, feasible: Sequence[Node]
+    ) -> Optional[Node]:
+        """The paper's lines 6-9: the most-available node inside the
+        most-available rack (restricted to nodes that can host the task).
+
+        "Most resources" compares absolute availability, with each
+        dimension scaled by the cluster-wide maximum capacity so a
+        megabyte-dominated sum does not drown the CPU dimension, and a
+        big empty machine outranks a small empty one.
+        """
+        feasible_ids = {n.node_id for n in feasible}
+        alive = cluster.alive_nodes
+        if not alive:
+            return None
+        schema = alive[0].capacity.schema
+        scale = {
+            dim: max(node.capacity[dim] for node in alive) or 1.0
+            for dim in schema.names
+        }
+
+        def node_score(node: Node) -> float:
+            return sum(
+                node.available[dim] / scale[dim] for dim in schema.names
+            )
+
+        racks = sorted(
+            cluster.racks,
+            key=lambda r: (
+                -sum(node_score(n) for n in r.alive_nodes),
+                r.rack_id,
+            ),
+        )
+        for rack in racks:
+            candidates = [n for n in rack.alive_nodes if n.node_id in feasible_ids]
+            if candidates:
+                return min(
+                    candidates, key=lambda n: (-node_score(n), n.node_id)
+                )
+        return None
+
+    def distance(
+        self, node: Node, demand: ResourceVector, net_distance: float
+    ) -> float:
+        """The Distance procedure of Algorithm 4.
+
+        ``sqrt(w_m * gap_mem^2 + w_c * gap_cpu^2 + w_b * netdist(ref, node))``
+        with gaps optionally normalised by node capacity.  Generalised
+        schemas contribute every non-bandwidth dimension, weighted by the
+        dimension's default weight (memory/cpu weights override the
+        standard dimensions).
+
+        Args:
+            node: Candidate node (already hard-constraint feasible).
+            demand: The task's declared demand vector.
+            net_distance: Abstract network distance from the ref node to
+                ``node`` (see :meth:`Cluster.node_distance`).
+        """
+        schema = node.available.schema
+        if self.normalise_gaps:
+            gaps = node.available.normalised_gap(demand, node.capacity)
+        else:
+            gaps = node.available.gap(demand)
+        total = 0.0
+        for dim in schema:
+            if dim.name == BANDWIDTH:
+                continue  # replaced by the network-distance term
+            weight = {
+                "memory_mb": self.weights.memory,
+                "cpu": self.weights.cpu,
+            }.get(dim.name, dim.default_weight)
+            gap = gaps[dim.name]
+            total += weight * gap * gap
+        if self.use_network_distance:
+            total += self.weights.network * net_distance
+        return math.sqrt(max(0.0, total))

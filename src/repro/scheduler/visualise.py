@@ -1,0 +1,130 @@
+"""Plain-text visualisation of schedules.
+
+Renders the rack/node/slot layout of one or more assignments the way the
+paper's Figure 3 sketches a scheduled cluster — which machine runs which
+tasks, plus per-node resource loads — so placement differences between
+schedulers are visible at a glance in terminals, logs and docs.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.cluster.cluster import Cluster
+from repro.scheduler.assignment import Assignment
+from repro.scheduler.quality import aggregate_node_load
+from repro.topology.topology import Topology
+
+__all__ = ["render_assignments", "render_node_loads"]
+
+
+def _task_labels_by_slot(
+    placements: Sequence[Tuple[Topology, Assignment]],
+) -> Dict[object, List[str]]:
+    by_slot: Dict[object, List[str]] = defaultdict(list)
+    multiple = len(placements) > 1
+    for topology, assignment in placements:
+        for task in assignment.tasks:
+            slot = assignment.slot_of(task)
+            label = f"{task.component}[{task.instance}]"
+            if multiple:
+                label = f"{topology.topology_id}/{label}"
+            by_slot[slot].append(label)
+    return by_slot
+
+
+def render_assignments(
+    cluster: Cluster,
+    placements: Sequence[Tuple[Topology, Assignment]],
+    show_empty_nodes: bool = False,
+    max_width: int = 100,
+) -> str:
+    """A rack -> node -> slot text tree of the given placements.
+
+    Args:
+        cluster: The cluster the assignments refer to.
+        placements: ``(topology, assignment)`` pairs to overlay.
+        show_empty_nodes: Include nodes hosting nothing.
+        max_width: Wrap task lists at roughly this many columns.
+    """
+    by_slot = _task_labels_by_slot(placements)
+    load = aggregate_node_load(list(placements))
+    lines: List[str] = []
+    for rack in sorted(cluster.racks, key=lambda r: r.rack_id):
+        rack_nodes = sorted(rack.nodes, key=lambda n: n.node_id)
+        used_nodes = [
+            node
+            for node in rack_nodes
+            if show_empty_nodes
+            or any(by_slot.get(slot) for slot in node.slots)
+        ]
+        if not used_nodes:
+            continue
+        lines.append(f"{rack.rack_id}/")
+        for node in used_nodes:
+            demand = load.get(node.node_id)
+            if demand is not None:
+                mem = f"{demand.memory_mb:.0f}/{node.capacity.memory_mb:.0f}MB"
+                cpu = f"{demand.cpu:.0f}/{node.capacity.cpu:.0f}pts"
+                suffix = f"  [{mem}, {cpu}]"
+                if demand.memory_mb > node.capacity.memory_mb:
+                    suffix += "  !! MEMORY OVER-COMMITTED"
+            else:
+                suffix = "  [idle]"
+            status = "" if node.alive else "  (DEAD)"
+            lines.append(f"  {node.node_id}{status}{suffix}")
+            for slot in node.slots:
+                labels = by_slot.get(slot)
+                if not labels:
+                    continue
+                prefix = f"    :{slot.port}  "
+                line = prefix
+                for label in sorted(labels):
+                    candidate = (
+                        f"{line}{label} "
+                        if line != prefix
+                        else f"{line}{label} "
+                    )
+                    if len(candidate) > max_width and line != prefix:
+                        lines.append(line.rstrip())
+                        line = " " * len(prefix) + f"{label} "
+                    else:
+                        line = candidate
+                lines.append(line.rstrip())
+    if not lines:
+        return "(no tasks placed)"
+    return "\n".join(lines)
+
+
+def render_node_loads(
+    cluster: Cluster,
+    placements: Sequence[Tuple[Topology, Assignment]],
+    bar_width: int = 30,
+) -> str:
+    """Per-node CPU/memory load bars, paper-Figure-10 style."""
+    load = aggregate_node_load(list(placements))
+    lines = []
+
+    def bar(fraction: float) -> str:
+        filled = int(round(min(fraction, 1.0) * bar_width))
+        over = "+" if fraction > 1.0 else ""
+        return "#" * filled + "." * (bar_width - filled) + over
+
+    for node in sorted(cluster.nodes, key=lambda n: n.node_id):
+        demand = load.get(node.node_id)
+        if demand is None:
+            continue
+        cpu_frac = (
+            demand.cpu / node.capacity.cpu if node.capacity.cpu > 0 else 0.0
+        )
+        mem_frac = (
+            demand.memory_mb / node.capacity.memory_mb
+            if node.capacity.memory_mb > 0
+            else 0.0
+        )
+        lines.append(
+            f"{node.node_id:12s} cpu |{bar(cpu_frac)}| {cpu_frac * 100:5.1f}%  "
+            f"mem |{bar(mem_frac)}| {mem_frac * 100:5.1f}%"
+        )
+    return "\n".join(lines) if lines else "(no tasks placed)"

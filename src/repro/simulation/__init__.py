@@ -1,0 +1,31 @@
+"""Discrete-event Storm runtime simulator."""
+
+from repro.simulation.config import SimulationConfig
+from repro.simulation.engine import Simulator
+from repro.simulation.export import (
+    report_as_dict,
+    throughput_series_csv,
+    write_report_json,
+    write_throughput_series_csv,
+)
+from repro.simulation.metrics import StatisticServer
+from repro.simulation.network import TransferModel
+from repro.simulation.report import LatencyStats, SimulationReport
+from repro.simulation.runtime import SimulationRun
+from repro.simulation.tracing import TraceEvent, Tracer
+
+__all__ = [
+    "LatencyStats",
+    "SimulationConfig",
+    "SimulationReport",
+    "SimulationRun",
+    "Simulator",
+    "StatisticServer",
+    "TraceEvent",
+    "Tracer",
+    "TransferModel",
+    "report_as_dict",
+    "throughput_series_csv",
+    "write_report_json",
+    "write_throughput_series_csv",
+]

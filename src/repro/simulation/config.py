@@ -1,0 +1,90 @@
+"""Simulation configuration knobs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ConfigError
+
+__all__ = ["SimulationConfig"]
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Parameters of a simulated run.
+
+    Attributes:
+        duration_s: Simulated run length in seconds (the paper runs ~15
+            minutes of wall clock; the shapes stabilise far earlier in
+            simulation).
+        window_s: Metrics window; the paper reports throughput in
+            tuples per 10 seconds.
+        warmup_s: Leading interval excluded from averaged metrics while
+            queues fill and throughput converges.
+        max_spout_pending: Storm's ``topology.max.spout.pending`` in
+            *batches* per spout task — the acker-enforced credit that
+            bounds in-flight work.  ``None`` reproduces Storm's default
+            (no flow control): spouts emit as fast as CPU and any
+            ``max_rate_tps`` cap allow, and an overloaded bolt's queue
+            grows without bound until the worker dies (see
+            ``queue_overflow_batches``).
+        batch_timeout_s: Storm's tuple timeout: an un-acked batch returns
+            its credit after this long (its tuples count as failed).
+        thrash_factor: Service-time multiplier on nodes whose resident
+            memory footprint exceeds physical capacity — models paging;
+            this is what grinds the over-committed Processing topology to
+            a near halt in Figure 13.
+        context_switch_overhead: Fractional service-time overhead added
+            per extra runnable task beyond a node's core count (models
+            scheduler churn when a machine is oversubscribed with
+            threads). 0 disables.
+        serde_ms_per_tuple: CPU milliseconds of serialisation/
+            deserialisation charged to the *receiving* task per tuple for
+            deliveries that cross a worker-process boundary.  Storm skips
+            (de)serialisation entirely for intra-process hand-offs, which
+            is part of why co-location wins; intra-process deliveries pay
+            nothing.
+        queue_overflow_batches: A task whose input queue exceeds this many
+            batches crashes its worker (Storm 0.9's unbounded ZeroMQ/
+            Disruptor buffers exhaust the heap), losing the queue; the
+            supervisor restarts it after ``worker_restart_s``.  ``None``
+            disables the crash model (queues grow without bound).
+        worker_restart_s: Downtime before a crashed task is restarted.
+    """
+
+    duration_s: float = 120.0
+    window_s: float = 10.0
+    warmup_s: float = 20.0
+    max_spout_pending: Optional[int] = 10
+    batch_timeout_s: float = 30.0
+    thrash_factor: float = 25.0
+    context_switch_overhead: float = 0.0
+    serde_ms_per_tuple: float = 0.002
+    queue_overflow_batches: Optional[int] = 500
+    worker_restart_s: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.duration_s <= 0:
+            raise ConfigError("duration_s must be positive")
+        if self.window_s <= 0:
+            raise ConfigError("window_s must be positive")
+        if not 0 <= self.warmup_s < self.duration_s:
+            raise ConfigError("warmup_s must be in [0, duration_s)")
+        if self.max_spout_pending is not None and self.max_spout_pending < 1:
+            raise ConfigError("max_spout_pending must be >= 1 or None")
+        if self.batch_timeout_s <= 0:
+            raise ConfigError("batch_timeout_s must be positive")
+        if self.thrash_factor < 1:
+            raise ConfigError("thrash_factor must be >= 1")
+        if self.context_switch_overhead < 0:
+            raise ConfigError("context_switch_overhead must be >= 0")
+        if self.serde_ms_per_tuple < 0:
+            raise ConfigError("serde_ms_per_tuple must be >= 0")
+        if (
+            self.queue_overflow_batches is not None
+            and self.queue_overflow_batches < 1
+        ):
+            raise ConfigError("queue_overflow_batches must be >= 1 or None")
+        if self.worker_restart_s < 0:
+            raise ConfigError("worker_restart_s must be >= 0")

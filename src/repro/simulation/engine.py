@@ -1,0 +1,90 @@
+"""Discrete-event simulation engine.
+
+A minimal, fast event loop: callbacks scheduled at absolute simulated
+times, executed in time order with FIFO tie-breaking (a monotonically
+increasing sequence number).  All simulation times are in **seconds** of
+simulated time.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, List, Optional, Tuple
+
+from repro.errors import SimulationError
+
+__all__ = ["Simulator"]
+
+
+class Simulator:
+    """Heap-based discrete-event loop."""
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._seq = itertools.count()
+        self._heap: List[Tuple[float, int, Callable[[], None]]] = []
+        self._events_processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        return self._events_processed
+
+    def schedule_at(self, time: float, action: Callable[[], None]) -> None:
+        """Run ``action`` at absolute simulated time ``time``.
+
+        Raises:
+            SimulationError: if ``time`` is in the simulated past.
+        """
+        if time < self._now - 1e-12:
+            raise SimulationError(
+                f"cannot schedule event at {time} before now={self._now}"
+            )
+        heapq.heappush(self._heap, (time, next(self._seq), action))
+
+    def schedule_after(self, delay: float, action: Callable[[], None]) -> None:
+        """Run ``action`` ``delay`` seconds from now (delay >= 0)."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        self.schedule_at(self._now + delay, action)
+
+    def run(self, until: float) -> None:
+        """Process events in order until simulated time ``until``.
+
+        Events scheduled exactly at ``until`` are processed; the clock
+        ends at ``until`` even if the heap drains earlier.
+        """
+        if until < self._now:
+            raise SimulationError(
+                f"cannot run backwards to {until} from now={self._now}"
+            )
+        while self._heap and self._heap[0][0] <= until:
+            time, _, action = heapq.heappop(self._heap)
+            self._now = time
+            self._events_processed += 1
+            action()
+        self._now = until
+
+    def step(self) -> bool:
+        """Process a single event; returns False when the heap is empty."""
+        if not self._heap:
+            return False
+        time, _, action = heapq.heappop(self._heap)
+        self._now = time
+        self._events_processed += 1
+        action()
+        return True
+
+    def peek_time(self) -> Optional[float]:
+        return self._heap[0][0] if self._heap else None
+
+    def __repr__(self) -> str:
+        return (
+            f"Simulator(now={self._now:.6f}, pending={len(self._heap)}, "
+            f"processed={self._events_processed})"
+        )

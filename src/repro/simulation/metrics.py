@@ -1,0 +1,155 @@
+"""StatisticServer — metrics collection (paper Section 5.1).
+
+Collects, per simulated run:
+
+* windowed sink throughput at task, component and topology level
+  (the paper reports tuples per 10-second window),
+* spout emission and failure counts,
+* per-node busy core-seconds (CPU utilisation, Figure 10),
+* batch ack latencies.
+
+The server only records; derived views (averages, series) live in
+:class:`~repro.simulation.report.SimulationReport`.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["StatisticServer"]
+
+
+class StatisticServer:
+    """Raw metric sink for one simulation run."""
+
+    def __init__(self, window_s: float = 10.0):
+        if window_s <= 0:
+            raise ValueError("window_s must be positive")
+        self.window_s = window_s
+        #: (topology, window_index) -> tuples processed by sinks
+        self._sink_windows: Dict[Tuple[str, int], int] = defaultdict(int)
+        #: (topology, component, window_index) -> tuples
+        self._component_windows: Dict[Tuple[str, str, int], int] = defaultdict(int)
+        #: topology -> total sink tuples
+        self._sink_totals: Dict[str, int] = defaultdict(int)
+        #: (topology, component) -> total tuples processed (all bolts)
+        self._processed_totals: Dict[Tuple[str, str], int] = defaultdict(int)
+        #: topology -> tuples emitted by spouts
+        self._emitted: Dict[str, int] = defaultdict(int)
+        #: topology -> tuples in timed-out (failed) batches
+        self._failed: Dict[str, int] = defaultdict(int)
+        #: node -> busy core-seconds
+        self._busy: Dict[str, float] = defaultdict(float)
+        #: topology -> ack latency samples (seconds)
+        self._ack_latencies: Dict[str, List[float]] = defaultdict(list)
+        #: node -> bytes sent over its NIC
+        self._nic_bytes: Dict[str, int] = defaultdict(int)
+        #: count of batches dropped at dead nodes
+        self.dropped_batches: int = 0
+        #: (topology, component) -> worker crash count (queue overflow)
+        self._crashes: Dict[Tuple[str, str], int] = defaultdict(int)
+
+    # -- recording ---------------------------------------------------------
+
+    def window_index(self, time: float) -> int:
+        return int(math.floor(time / self.window_s))
+
+    def record_sink(
+        self, topology_id: str, component: str, time: float, tuples: int
+    ) -> None:
+        w = self.window_index(time)
+        self._sink_windows[(topology_id, w)] += tuples
+        self._component_windows[(topology_id, component, w)] += tuples
+        self._sink_totals[topology_id] += tuples
+
+    def record_processed(
+        self, topology_id: str, component: str, tuples: int
+    ) -> None:
+        self._processed_totals[(topology_id, component)] += tuples
+
+    def record_emitted(self, topology_id: str, tuples: int) -> None:
+        self._emitted[topology_id] += tuples
+
+    def record_failed(self, topology_id: str, tuples: int) -> None:
+        self._failed[topology_id] += tuples
+
+    def record_busy(self, node_id: str, core_seconds: float) -> None:
+        self._busy[node_id] += core_seconds
+
+    def record_ack(self, topology_id: str, latency_s: float) -> None:
+        self._ack_latencies[topology_id].append(latency_s)
+
+    def record_nic(self, node_id: str, num_bytes: int) -> None:
+        self._nic_bytes[node_id] += num_bytes
+
+    def record_dropped(self) -> None:
+        self.dropped_batches += 1
+
+    def record_crash(self, topology_id: str, component: str) -> None:
+        self._crashes[(topology_id, component)] += 1
+
+    # -- raw views --------------------------------------------------------
+
+    def sink_total(self, topology_id: str) -> int:
+        return self._sink_totals.get(topology_id, 0)
+
+    def emitted_total(self, topology_id: str) -> int:
+        return self._emitted.get(topology_id, 0)
+
+    def failed_total(self, topology_id: str) -> int:
+        return self._failed.get(topology_id, 0)
+
+    def processed_total(self, topology_id: str, component: str) -> int:
+        return self._processed_totals.get((topology_id, component), 0)
+
+    def busy_core_seconds(self, node_id: str) -> float:
+        return self._busy.get(node_id, 0.0)
+
+    def nic_bytes(self, node_id: str) -> int:
+        return self._nic_bytes.get(node_id, 0)
+
+    def ack_latencies(self, topology_id: str) -> List[float]:
+        return list(self._ack_latencies.get(topology_id, []))
+
+    def throughput_series(
+        self, topology_id: str, duration_s: float
+    ) -> List[Tuple[float, int]]:
+        """(window_start_s, sink tuples) for every window in the run,
+        including empty windows."""
+        num_windows = int(math.ceil(duration_s / self.window_s))
+        return [
+            (w * self.window_s, self._sink_windows.get((topology_id, w), 0))
+            for w in range(num_windows)
+        ]
+
+    def component_series(
+        self, topology_id: str, component: str, duration_s: float
+    ) -> List[Tuple[float, int]]:
+        num_windows = int(math.ceil(duration_s / self.window_s))
+        return [
+            (
+                w * self.window_s,
+                self._component_windows.get((topology_id, component, w), 0),
+            )
+            for w in range(num_windows)
+        ]
+
+    def crash_total(self, topology_id: str) -> int:
+        return sum(
+            count
+            for (topo, _), count in self._crashes.items()
+            if topo == topology_id
+        )
+
+    def crashes_by_component(self, topology_id: str) -> Dict[str, int]:
+        return {
+            comp: count
+            for (topo, comp), count in self._crashes.items()
+            if topo == topology_id
+        }
+
+    def topologies_seen(self) -> List[str]:
+        seen = set(self._sink_totals) | set(self._emitted)
+        return sorted(seen)

@@ -1,0 +1,166 @@
+"""Simulation reports — derived metric views.
+
+Wraps a :class:`~repro.simulation.metrics.StatisticServer` with the
+aggregations the paper reports: average throughput per 10-second window
+(post-warmup), throughput time series, and average CPU utilisation over
+the machines a topology actually uses (Figure 10's metric).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.simulation.config import SimulationConfig
+from repro.simulation.metrics import StatisticServer
+
+__all__ = ["SimulationReport", "LatencyStats"]
+
+
+@dataclass(frozen=True)
+class LatencyStats:
+    """Ack (complete) latency summary in seconds."""
+
+    count: int
+    mean: float
+    p50: float
+    p99: float
+
+    @classmethod
+    def from_samples(cls, samples: Sequence[float]) -> "LatencyStats":
+        if not samples:
+            return cls(count=0, mean=0.0, p50=0.0, p99=0.0)
+        ordered = sorted(samples)
+
+        def percentile(p: float) -> float:
+            idx = min(len(ordered) - 1, max(0, int(math.ceil(p * len(ordered))) - 1))
+            return ordered[idx]
+
+        return cls(
+            count=len(ordered),
+            mean=sum(ordered) / len(ordered),
+            p50=percentile(0.50),
+            p99=percentile(0.99),
+        )
+
+
+@dataclass
+class SimulationReport:
+    """Metrics view over one finished (or in-progress) simulation."""
+
+    config: SimulationConfig
+    stats: StatisticServer
+    duration_s: float
+    topology_ids: List[str]
+    nodes_used: Dict[str, Tuple[str, ...]]
+    node_cores: Dict[str, int]
+    events_processed: int = 0
+
+    # -- throughput -----------------------------------------------------------
+
+    def throughput_series(self, topology_id: str) -> List[Tuple[float, int]]:
+        """(window_start_s, sink tuples in window) for the whole run."""
+        return self.stats.throughput_series(topology_id, self.duration_s)
+
+    def component_series(
+        self, topology_id: str, component: str
+    ) -> List[Tuple[float, int]]:
+        return self.stats.component_series(topology_id, component, self.duration_s)
+
+    def _steady_windows(self, topology_id: str) -> List[int]:
+        """Window values after warmup, excluding a trailing partial window."""
+        values = []
+        for start, tuples in self.throughput_series(topology_id):
+            if start < self.config.warmup_s:
+                continue
+            if start + self.config.window_s > self.duration_s + 1e-9:
+                continue
+            values.append(tuples)
+        return values
+
+    def average_throughput_per_window(self, topology_id: str) -> float:
+        """Mean sink tuples per metrics window after warmup — the paper's
+        headline number (tuples per 10 seconds)."""
+        values = self._steady_windows(topology_id)
+        if not values:
+            return 0.0
+        return sum(values) / len(values)
+
+    def average_throughput_tps(self, topology_id: str) -> float:
+        """Mean sink tuples per second after warmup."""
+        return self.average_throughput_per_window(topology_id) / self.config.window_s
+
+    # -- counters ----------------------------------------------------------------
+
+    def emitted(self, topology_id: str) -> int:
+        return self.stats.emitted_total(topology_id)
+
+    def sunk(self, topology_id: str) -> int:
+        return self.stats.sink_total(topology_id)
+
+    def failed(self, topology_id: str) -> int:
+        return self.stats.failed_total(topology_id)
+
+    def crashes(self, topology_id: str) -> int:
+        """Worker crashes from queue overflow during the run."""
+        return self.stats.crash_total(topology_id)
+
+    # -- CPU utilisation -----------------------------------------------------------
+
+    def cpu_utilisation(self, node_id: str) -> float:
+        """Busy core-seconds over available core-seconds for one node."""
+        cores = self.node_cores.get(node_id, 1)
+        denom = self.duration_s * cores
+        if denom <= 0:
+            return 0.0
+        return self.stats.busy_core_seconds(node_id) / denom
+
+    def mean_cpu_utilisation(
+        self, node_ids: Optional[Sequence[str]] = None
+    ) -> float:
+        """Average CPU utilisation over ``node_ids``.
+
+        Defaults to every node used by any topology in the run — "the
+        machines used in the cluster", Figure 10's population.
+        """
+        if node_ids is None:
+            used = set()
+            for nodes in self.nodes_used.values():
+                used.update(nodes)
+            node_ids = sorted(used)
+        if not node_ids:
+            return 0.0
+        return sum(self.cpu_utilisation(n) for n in node_ids) / len(node_ids)
+
+    def topology_cpu_utilisation(self, topology_id: str) -> float:
+        """Mean CPU utilisation over the nodes hosting ``topology_id``."""
+        return self.mean_cpu_utilisation(self.nodes_used.get(topology_id, ()))
+
+    # -- latency ------------------------------------------------------------------
+
+    def ack_latency(self, topology_id: str) -> LatencyStats:
+        return LatencyStats.from_samples(self.stats.ack_latencies(topology_id))
+
+    # -- summary ----------------------------------------------------------------------
+
+    def summary(self) -> Dict[str, Dict[str, float]]:
+        """Per-topology headline numbers, ready for printing."""
+        out: Dict[str, Dict[str, float]] = {}
+        for topo_id in self.topology_ids:
+            out[topo_id] = {
+                "avg_tuples_per_window": round(
+                    self.average_throughput_per_window(topo_id), 1
+                ),
+                "avg_tuples_per_s": round(self.average_throughput_tps(topo_id), 1),
+                "emitted": float(self.emitted(topo_id)),
+                "sunk": float(self.sunk(topo_id)),
+                "failed": float(self.failed(topo_id)),
+                "nodes_used": float(len(self.nodes_used.get(topo_id, ()))),
+                "mean_cpu_utilisation": round(
+                    self.topology_cpu_utilisation(topo_id), 4
+                ),
+                "ack_p50_ms": round(self.ack_latency(topo_id).p50 * 1e3, 3),
+                "worker_crashes": float(self.crashes(topo_id)),
+            }
+        return out

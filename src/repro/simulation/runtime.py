@@ -1,0 +1,624 @@
+"""The simulated Storm runtime.
+
+Executes one or more scheduled topologies on a cluster in simulated time,
+reproducing the execution model the paper's evaluation measures:
+
+* **Spouts** emit tuple batches as fast as their CPU, the acker credit
+  (``max_spout_pending``) and any configured rate cap allow.
+* **Routing** follows each stream's grouping; every downstream component
+  subscribed to a stream receives a copy of it.
+* **Transfers** pay locality-dependent latency and serialise through NICs
+  and the inter-rack uplink (:class:`~repro.simulation.network.TransferModel`).
+* **Bolts** are single-threaded tasks competing for their node's cores;
+  an over-committed node's tasks wait for cores, and a node whose
+  resident memory exceeds physical capacity thrashes (service times are
+  multiplied by ``thrash_factor``) — the failure mode that flattens the
+  default-scheduled Processing topology in Figure 13.
+* **Acking** tracks every batch tree; completion returns spout credit,
+  timeouts (tuple failure) return it late.
+
+The runtime supports node failure injection and task migration so the
+Nimbus coordination loop can reschedule mid-run.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.network import DistanceLevel
+from repro.cluster.node import Node, WorkerSlot
+from repro.errors import SchedulingError, SimulationError
+from repro.scheduler.assignment import Assignment
+from repro.simulation.config import SimulationConfig
+from repro.simulation.engine import Simulator
+from repro.simulation.metrics import StatisticServer
+from repro.simulation.network import TransferModel
+from repro.simulation.report import SimulationReport
+from repro.topology.component import Component
+from repro.topology.grouping import LocalOrShuffleGrouping
+from repro.topology.task import Task
+from repro.topology.topology import Topology
+
+__all__ = ["SimulationRun"]
+
+#: Floor on any service time, preventing zero-cost loops from freezing
+#: simulated time.
+_MIN_SERVICE_S = 1e-6
+
+_EMIT = 0
+_PROCESS = 1
+
+#: CPU points that equal one core (the paper: "CPU availability of a node
+#: is set to 100 * #cores").
+_POINTS_PER_CORE = 100.0
+
+
+class _NodeRuntime:
+    """Per-node execution state: cores, run queue, slowdown factors."""
+
+    __slots__ = ("node", "cores", "active", "ready", "slowdown", "overhead",
+                 "tasks")
+
+    def __init__(self, node: Node):
+        self.node = node
+        self.cores = max(1, int(round(node.capacity.cpu / _POINTS_PER_CORE)))
+        self.active = 0
+        self.ready: Deque["_TaskRuntime"] = deque()
+        self.slowdown = 1.0
+        self.overhead = 1.0
+        self.tasks: List["_TaskRuntime"] = []
+
+    @property
+    def alive(self) -> bool:
+        return self.node.alive
+
+    @property
+    def node_id(self) -> str:
+        return self.node.node_id
+
+
+class _OutRoute:
+    """A producer task's route to one downstream component."""
+
+    __slots__ = ("consumer_component", "grouping", "consumers", "levels",
+                 "levels_version", "is_local_or_shuffle")
+
+    def __init__(self, consumer_component, grouping, consumers):
+        self.consumer_component = consumer_component
+        self.grouping = grouping
+        self.consumers: List["_TaskRuntime"] = consumers
+        self.levels: Optional[List[DistanceLevel]] = None
+        self.levels_version = -1
+        self.is_local_or_shuffle = isinstance(grouping, LocalOrShuffleGrouping)
+
+
+class _TaskRuntime:
+    """Runtime state of one task."""
+
+    __slots__ = (
+        "task", "component", "profile", "topo", "slot", "node", "work",
+        "running", "queued", "alive", "out_routes", "inflight",
+        "emit_blocked", "emit_timer_set", "next_emit_time", "is_spout",
+    )
+
+    def __init__(self, task: Task, component: Component,
+                 topo: "_TopologyRuntime", slot: WorkerSlot,
+                 node: _NodeRuntime):
+        self.task = task
+        self.component = component
+        self.profile = component.profile
+        self.topo = topo
+        self.slot = slot
+        self.node = node
+        self.work: Deque[Tuple[int, object]] = deque()
+        self.running = False
+        self.queued = False
+        self.alive = True
+        self.out_routes: List[_OutRoute] = []
+        self.inflight = 0
+        self.emit_blocked = False
+        self.emit_timer_set = False
+        self.next_emit_time = 0.0
+        self.is_spout = component.is_spout
+
+    @property
+    def node_id(self) -> str:
+        return self.slot.node_id
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"_TaskRuntime({self.task})"
+
+
+class _TopologyRuntime:
+    """Per-topology acker state."""
+
+    __slots__ = ("topology", "assignment", "pending", "next_root", "spouts")
+
+    def __init__(self, topology: Topology, assignment: Assignment):
+        self.topology = topology
+        self.assignment = assignment
+        #: root id -> [remaining deliveries, spout runtime, emit time, tuples]
+        self.pending: Dict[int, List] = {}
+        self.next_root = itertools.count()
+        self.spouts: List[_TaskRuntime] = []
+
+    @property
+    def topology_id(self) -> str:
+        return self.topology.topology_id
+
+
+class SimulationRun:
+    """One simulated execution of scheduled topologies on a cluster.
+
+    Args:
+        cluster: The physical cluster (its topography supplies transfer
+            costs; node liveness is honoured and may change mid-run via
+            :meth:`fail_node_at`).
+        placements: ``(topology, assignment)`` pairs.  Every assignment
+            must be complete.
+        config: Simulation knobs.
+        interrack_uplink_mbps: Optional override of the shared cross-rack
+            link capacity (see :class:`TransferModel`).
+    """
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        placements: Sequence[Tuple[Topology, Assignment]],
+        config: Optional[SimulationConfig] = None,
+        interrack_uplink_mbps: Optional[float] = None,
+    ):
+        self.cluster = cluster
+        self.config = config or SimulationConfig()
+        self.sim = Simulator()
+        self.stats = StatisticServer(self.config.window_s)
+        self.transfer = TransferModel(cluster, interrack_uplink_mbps)
+        self._placement_version = 0
+        self._nodes: Dict[str, _NodeRuntime] = {
+            node.node_id: _NodeRuntime(node) for node in cluster.nodes
+        }
+        self._topologies: List[_TopologyRuntime] = []
+        self._task_runtimes: Dict[Task, _TaskRuntime] = {}
+        for topology, assignment in placements:
+            self._add_topology(topology, assignment)
+        self._recompute_node_factors()
+        self._started = False
+
+    # -- construction ------------------------------------------------------
+
+    def _add_topology(self, topology: Topology, assignment: Assignment) -> None:
+        if not assignment.is_complete(topology):
+            raise SchedulingError(
+                f"assignment for {topology.topology_id!r} is incomplete: "
+                f"missing {assignment.missing_tasks(topology)}"
+            )
+        topo_rt = _TopologyRuntime(topology, assignment)
+        runtimes: Dict[Task, _TaskRuntime] = {}
+        for task in topology.tasks:
+            slot = assignment.slot_of(task)
+            node_rt = self._nodes.get(slot.node_id)
+            if node_rt is None:
+                raise SimulationError(
+                    f"assignment places {task} on unknown node {slot.node_id!r}"
+                )
+            rt = _TaskRuntime(
+                task, topology.component(task.component), topo_rt, slot, node_rt
+            )
+            rt.alive = node_rt.alive
+            node_rt.tasks.append(rt)
+            runtimes[task] = rt
+            self._task_runtimes[task] = rt
+            if rt.is_spout:
+                topo_rt.spouts.append(rt)
+        # Wire producer -> consumer routes.  Each downstream component
+        # subscribed to a producer's stream receives a copy of it; the
+        # producer holds a fresh grouping instance per route so routing
+        # state is per-producer, as in Storm.
+        for task in topology.tasks:
+            producer = runtimes[task]
+            for consumer_name in topology.downstream_of(task.component):
+                consumer_comp = topology.component(consumer_name)
+                subscription = next(
+                    sub
+                    for sub in consumer_comp.subscriptions
+                    if sub.source == task.component
+                )
+                consumers = [
+                    runtimes[t] for t in topology.tasks_of(consumer_name)
+                ]
+                producer.out_routes.append(
+                    _OutRoute(
+                        consumer_name,
+                        subscription.grouping.fresh(),
+                        consumers,
+                    )
+                )
+        self._topologies.append(topo_rt)
+
+    def _recompute_node_factors(self) -> None:
+        """Thrash and context-switch factors from current placements.
+
+        A node thrashes when the resident memory of the tasks placed on it
+        exceeds its physical capacity — the hard-constraint violation the
+        default scheduler can commit and R-Storm never does.
+        """
+        for node_rt in self._nodes.values():
+            resident_mb = sum(
+                rt.component.resident_memory_mb for rt in node_rt.tasks
+            )
+            capacity_mb = node_rt.node.capacity.memory_mb
+            if capacity_mb > 0 and resident_mb > capacity_mb:
+                node_rt.slowdown = self.config.thrash_factor
+            else:
+                node_rt.slowdown = 1.0
+            extra = max(0, len(node_rt.tasks) - node_rt.cores)
+            node_rt.overhead = 1.0 + self.config.context_switch_overhead * extra
+
+    # -- public control ---------------------------------------------------------
+
+    def run(self, until: Optional[float] = None) -> SimulationReport:
+        """Run the simulation and return its report.
+
+        Args:
+            until: Stop time (defaults to ``config.duration_s``).  May be
+                called repeatedly with increasing times to step through a
+                run (e.g. interleaved with failure injection).
+        """
+        horizon = self.config.duration_s if until is None else until
+        if not self._started:
+            self._started = True
+            for topo_rt in self._topologies:
+                for spout in topo_rt.spouts:
+                    self._try_emit(spout)
+                self._schedule_sweep(topo_rt)
+        self.sim.run(horizon)
+        return self.report()
+
+    def report(self) -> SimulationReport:
+        """Snapshot report at the current simulated time."""
+        nodes_used = {
+            topo_rt.topology_id: tuple(sorted(topo_rt.assignment.nodes))
+            for topo_rt in self._topologies
+        }
+        node_cores = {
+            node_id: rt.cores for node_id, rt in self._nodes.items()
+        }
+        return SimulationReport(
+            config=self.config,
+            stats=self.stats,
+            duration_s=max(self.sim.now, 1e-9),
+            topology_ids=[t.topology_id for t in self._topologies],
+            nodes_used=nodes_used,
+            node_cores=node_cores,
+            events_processed=self.sim.events_processed,
+        )
+
+    def on_time(self, time: float, callback: Callable[[], None]) -> None:
+        """Register an arbitrary callback at simulated ``time`` (failure
+        injection, nimbus scheduling ticks, ...)."""
+        self.sim.schedule_at(time, callback)
+
+    def fail_node_at(self, time: float, node_id: str) -> None:
+        """Inject a node failure at simulated ``time``."""
+        self.on_time(time, lambda: self._fail_node(node_id))
+
+    def migrate(self, topology_id: str, new_assignment: Assignment) -> None:
+        """Rebind a topology's tasks to a new assignment immediately.
+
+        Tasks whose slot is unchanged keep their queues; moved tasks carry
+        their queued work to the new node (Storm would replay via acking;
+        carrying the queue approximates the post-replay state without
+        simulating the replay traffic).
+        """
+        topo_rt = self._topology_runtime(topology_id)
+        if not new_assignment.is_complete(topo_rt.topology):
+            raise SchedulingError(
+                f"migration assignment for {topology_id!r} is incomplete"
+            )
+        for task in topo_rt.topology.tasks:
+            rt = self._task_runtimes[task]
+            new_slot = new_assignment.slot_of(task)
+            if new_slot == rt.slot:
+                continue
+            new_node = self._nodes.get(new_slot.node_id)
+            if new_node is None:
+                raise SimulationError(
+                    f"migration places {task} on unknown node "
+                    f"{new_slot.node_id!r}"
+                )
+            rt.node.tasks.remove(rt)
+            if rt.queued:
+                try:
+                    rt.node.ready.remove(rt)
+                except ValueError:  # pragma: no cover - defensive
+                    pass
+                rt.queued = False
+            rt.slot = new_slot
+            rt.node = new_node
+            rt.alive = new_node.alive
+            new_node.tasks.append(rt)
+            if rt.alive and rt.work and not rt.running:
+                rt.queued = True
+                new_node.ready.append(rt)
+                self._dispatch(new_node)
+        topo_rt.assignment = new_assignment
+        self._placement_version += 1
+        self._recompute_node_factors()
+        for spout in topo_rt.spouts:
+            if spout.alive:
+                self._try_emit(spout)
+
+    # -- failure ------------------------------------------------------------------
+
+    def _fail_node(self, node_id: str) -> None:
+        node_rt = self._nodes.get(node_id)
+        if node_rt is None:
+            raise SimulationError(f"cannot fail unknown node {node_id!r}")
+        node_rt.node.fail()
+        for rt in node_rt.tasks:
+            rt.alive = False
+            rt.work.clear()
+            rt.queued = False
+            # A spout killed mid-emit must not stay blocked forever: its
+            # in-flight emit completion will be discarded (dead node), so
+            # clear the flag now and revival can emit again.
+            rt.emit_blocked = False
+            rt.emit_timer_set = False
+        node_rt.ready.clear()
+
+    # -- spout emission --------------------------------------------------------------
+
+    def _try_emit(self, spout: _TaskRuntime) -> None:
+        pending_cap = self.config.max_spout_pending
+        if (
+            not spout.alive
+            or not spout.node.alive
+            or spout.emit_blocked
+            or (pending_cap is not None and spout.inflight >= pending_cap)
+        ):
+            return
+        now = self.sim.now
+        if spout.profile.max_rate_tps is not None and now < spout.next_emit_time:
+            if not spout.emit_timer_set:
+                spout.emit_timer_set = True
+
+                def wake(s=spout):
+                    s.emit_timer_set = False
+                    self._try_emit(s)
+
+                self.sim.schedule_at(spout.next_emit_time, wake)
+            return
+        spout.emit_blocked = True
+        self._push_work(spout, _EMIT, None)
+
+    # -- work dispatch -----------------------------------------------------------------
+
+    def _push_work(self, task: _TaskRuntime, kind: int, payload) -> None:
+        task.work.append((kind, payload))
+        overflow = self.config.queue_overflow_batches
+        if overflow is not None and len(task.work) > overflow:
+            self._crash_task(task)
+            return
+        if not task.queued and not task.running:
+            task.queued = True
+            task.node.ready.append(task)
+            self._dispatch(task.node)
+
+    def _crash_task(self, task: _TaskRuntime) -> None:
+        """The task's worker dies of queue overflow (heap exhaustion);
+        its queue is lost and the supervisor restarts it after
+        ``worker_restart_s``.  In-flight roots routed through it will
+        time out, returning spout credit (or just counting as failed)."""
+        task.alive = False
+        task.work.clear()
+        task.emit_blocked = False
+        task.emit_timer_set = False
+        if task.queued:
+            try:
+                task.node.ready.remove(task)
+            except ValueError:  # pragma: no cover - defensive
+                pass
+            task.queued = False
+        self.stats.record_crash(task.topo.topology_id, task.component.name)
+
+        def revive(t=task):
+            if not t.node.alive:
+                return  # node died meanwhile; nimbus must reschedule
+            t.alive = True
+            if t.is_spout:
+                self._try_emit(t)
+
+        self.sim.schedule_after(self.config.worker_restart_s, revive)
+
+    def _dispatch(self, node_rt: _NodeRuntime) -> None:
+        while node_rt.alive and node_rt.active < node_rt.cores and node_rt.ready:
+            task = node_rt.ready.popleft()
+            task.queued = False
+            if not task.alive or not task.work:
+                continue
+            task.running = True
+            node_rt.active += 1
+            kind, payload = task.work.popleft()
+            service = self._service_time(task, kind, payload, node_rt)
+            self.sim.schedule_after(
+                service,
+                lambda t=task, k=kind, p=payload, s=service, n=node_rt: (
+                    self._complete(t, k, p, s, n)
+                ),
+            )
+
+    def _service_time(
+        self, task: _TaskRuntime, kind: int, payload, node_rt: _NodeRuntime
+    ) -> float:
+        if kind == _EMIT:
+            tuples = task.profile.emit_batch_tuples
+            per_tuple_ms = task.profile.cpu_ms_per_tuple
+        else:
+            tuples = payload[1]
+            per_tuple_ms = task.profile.cpu_ms_per_tuple
+            if payload[2] is not DistanceLevel.INTRA_PROCESS:
+                # Tuples from another worker process arrive serialised and
+                # must be decoded before user code runs.
+                per_tuple_ms += self.config.serde_ms_per_tuple
+        base = tuples * per_tuple_ms / 1e3
+        return max(base * node_rt.slowdown * node_rt.overhead, _MIN_SERVICE_S)
+
+    def _complete(
+        self,
+        task: _TaskRuntime,
+        kind: int,
+        payload,
+        service: float,
+        node_rt: _NodeRuntime,
+    ) -> None:
+        self.stats.record_busy(node_rt.node_id, service)
+        task.running = False
+        node_rt.active -= 1
+        if task.alive and node_rt.alive:
+            if kind == _EMIT:
+                self._finish_emit(task)
+            else:
+                self._finish_process(task, payload)
+        if task.alive and task.work and not task.queued and not task.running:
+            task.queued = True
+            task.node.ready.append(task)
+            self._dispatch(task.node)
+        self._dispatch(node_rt)
+
+    # -- emit / process effects -----------------------------------------------------------
+
+    def _finish_emit(self, spout: _TaskRuntime) -> None:
+        topo = spout.topo
+        now = self.sim.now
+        tuples = spout.profile.emit_batch_tuples
+        root_id = next(topo.next_root)
+        self.stats.record_emitted(topo.topology_id, tuples)
+        deliveries = self._route(spout, tuples, root_id)
+        if deliveries:
+            topo.pending[root_id] = [deliveries, spout, now, tuples]
+            spout.inflight += 1
+        else:
+            # A spout with no subscribers is its own sink.
+            self.stats.record_sink(
+                topo.topology_id, spout.component.name, now, tuples
+            )
+        spout.emit_blocked = False
+        if spout.profile.max_rate_tps is not None:
+            interval = tuples / spout.profile.max_rate_tps
+            spout.next_emit_time = max(spout.next_emit_time + interval, now)
+        self._try_emit(spout)
+
+    def _finish_process(self, task: _TaskRuntime, payload) -> None:
+        root_id, tuples, _level = payload
+        topo = task.topo
+        now = self.sim.now
+        self.stats.record_processed(topo.topology_id, task.component.name, tuples)
+        children = 0
+        if task.out_routes:
+            ratio = task.profile.output_ratio
+            out_tuples = int(round(tuples * ratio)) if ratio > 0 else 0
+            if ratio > 0 and out_tuples == 0:
+                out_tuples = 1
+            if out_tuples > 0:
+                children = self._route(task, out_tuples, root_id)
+        else:
+            self.stats.record_sink(
+                topo.topology_id, task.component.name, now, tuples
+            )
+        entry = topo.pending.get(root_id)
+        if entry is None:
+            return  # root already timed out; late tuples are discarded
+        entry[0] += children - 1
+        if entry[0] <= 0:
+            del topo.pending[root_id]
+            spout: _TaskRuntime = entry[1]
+            spout.inflight -= 1
+            self.stats.record_ack(topo.topology_id, now - entry[2])
+            self._try_emit(spout)
+
+    # -- routing --------------------------------------------------------------------------
+
+    def _route(self, producer: _TaskRuntime, tuples: int, root_id: int) -> int:
+        deliveries = 0
+        now = self.sim.now
+        num_bytes = tuples * producer.profile.tuple_bytes
+        for route in producer.out_routes:
+            if route.levels_version != self._placement_version:
+                route.levels = [
+                    self.cluster.slot_distance_level(producer.slot, c.slot)
+                    for c in route.consumers
+                ]
+                route.levels_version = self._placement_version
+            local_indices = None
+            if route.is_local_or_shuffle:
+                local_indices = [
+                    i
+                    for i, c in enumerate(route.consumers)
+                    if c.slot == producer.slot
+                ]
+            targets = route.grouping.route(
+                len(route.consumers), key=root_id, local_indices=local_indices
+            )
+            for idx in targets:
+                consumer = route.consumers[idx]
+                level = route.levels[idx]
+                arrival = self.transfer.transfer(
+                    now, producer.node_id, consumer.node_id, level, num_bytes
+                )
+                if level in (DistanceLevel.INTER_NODE, DistanceLevel.INTER_RACK):
+                    self.stats.record_nic(producer.node_id, num_bytes)
+                self.sim.schedule_at(
+                    arrival,
+                    lambda c=consumer, r=root_id, t=tuples, lv=level: (
+                        self._deliver(c, r, t, lv)
+                    ),
+                )
+                deliveries += 1
+        return deliveries
+
+    def _deliver(
+        self,
+        consumer: _TaskRuntime,
+        root_id: int,
+        tuples: int,
+        level: DistanceLevel,
+    ) -> None:
+        if not consumer.alive or not consumer.node.alive:
+            self.stats.record_dropped()
+            return  # the root will time out and return spout credit
+        self._push_work(consumer, _PROCESS, (root_id, tuples, level))
+
+    # -- ack timeout sweep -----------------------------------------------------------------
+
+    def _schedule_sweep(self, topo_rt: _TopologyRuntime) -> None:
+        period = self.config.batch_timeout_s / 4.0
+
+        def sweep() -> None:
+            now = self.sim.now
+            cutoff = now - self.config.batch_timeout_s
+            expired = [
+                root
+                for root, entry in topo_rt.pending.items()
+                if entry[2] <= cutoff
+            ]
+            for root in expired:
+                entry = topo_rt.pending.pop(root)
+                spout: _TaskRuntime = entry[1]
+                spout.inflight -= 1
+                self.stats.record_failed(topo_rt.topology_id, entry[3])
+                if spout.alive:
+                    self._try_emit(spout)
+            self.sim.schedule_after(period, sweep)
+
+        self.sim.schedule_after(period, sweep)
+
+    # -- helpers ------------------------------------------------------------------------------
+
+    def _topology_runtime(self, topology_id: str) -> _TopologyRuntime:
+        for topo_rt in self._topologies:
+            if topo_rt.topology_id == topology_id:
+                return topo_rt
+        raise SimulationError(f"no topology {topology_id!r} in this run")

@@ -1,0 +1,192 @@
+"""Structured event tracing for simulation runs.
+
+A lightweight, opt-in trace of what happened during a run — spout
+emissions, batch deliveries, acks, failures, worker crashes, migrations —
+kept in a bounded ring buffer so long runs cannot exhaust memory.  Used
+for debugging schedules and for tests that assert on event causality
+rather than aggregate counters.
+
+Usage::
+
+    tracer = Tracer(capacity=50_000)
+    run = SimulationRun(cluster, placements, config)
+    tracer.install(run)
+    run.run()
+    for event in tracer.query(kind="crash"):
+        print(event)
+
+The tracer wraps the runtime's internal hooks without modifying its hot
+path when not installed.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque, Dict, Iterator, List, Optional
+
+__all__ = ["TraceEvent", "Tracer"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One traced occurrence.
+
+    Attributes:
+        time: Simulated time in seconds.
+        kind: ``emit`` | ``deliver`` | ``ack`` | ``fail`` | ``crash`` |
+            ``migrate`` | ``node_down``.
+        topology: Topology id (empty for cluster-level events).
+        detail: Human-readable specifics (task, node, counts).
+    """
+
+    time: float
+    kind: str
+    topology: str
+    detail: str
+
+    def __str__(self) -> str:
+        return f"[{self.time:10.4f}s] {self.kind:9s} {self.topology} {self.detail}"
+
+
+class Tracer:
+    """Bounded event trace attached to a :class:`SimulationRun`."""
+
+    KINDS = ("emit", "deliver", "ack", "fail", "crash", "migrate", "node_down")
+
+    def __init__(self, capacity: int = 100_000):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._events: Deque[TraceEvent] = deque(maxlen=capacity)
+        self.dropped = 0
+        self._installed = False
+
+    # -- recording ---------------------------------------------------------
+
+    def record(self, time: float, kind: str, topology: str, detail: str) -> None:
+        if len(self._events) == self.capacity:
+            self.dropped += 1
+        self._events.append(TraceEvent(time, kind, topology, detail))
+
+    # -- installation -----------------------------------------------------------
+
+    def install(self, run) -> None:
+        """Wrap a run's internal transitions with trace recording.
+
+        Idempotent per tracer; installing a second tracer wraps again.
+        """
+        if self._installed:
+            raise RuntimeError("tracer already installed")
+        self._installed = True
+        tracer = self
+
+        original_finish_emit = run._finish_emit
+
+        def traced_finish_emit(spout):
+            tracer.record(
+                run.sim.now,
+                "emit",
+                spout.topo.topology_id,
+                f"{spout.task} batch={spout.profile.emit_batch_tuples}",
+            )
+            return original_finish_emit(spout)
+
+        run._finish_emit = traced_finish_emit
+
+        original_deliver = run._deliver
+
+        def traced_deliver(consumer, root_id, tuples, level):
+            tracer.record(
+                run.sim.now,
+                "deliver",
+                consumer.topo.topology_id,
+                f"root={root_id} tuples={tuples} -> {consumer.task} ({level.name})",
+            )
+            return original_deliver(consumer, root_id, tuples, level)
+
+        run._deliver = traced_deliver
+
+        original_crash = run._crash_task
+
+        def traced_crash(task):
+            tracer.record(
+                run.sim.now,
+                "crash",
+                task.topo.topology_id,
+                f"{task.task} queue overflow",
+            )
+            return original_crash(task)
+
+        run._crash_task = traced_crash
+
+        original_fail_node = run._fail_node
+
+        def traced_fail_node(node_id):
+            tracer.record(run.sim.now, "node_down", "", node_id)
+            return original_fail_node(node_id)
+
+        run._fail_node = traced_fail_node
+
+        original_migrate = run.migrate
+
+        def traced_migrate(topology_id, new_assignment):
+            tracer.record(
+                run.sim.now,
+                "migrate",
+                topology_id,
+                f"onto {len(new_assignment.nodes)} nodes",
+            )
+            return original_migrate(topology_id, new_assignment)
+
+        run.migrate = traced_migrate
+
+        # acks and failures are observed through the stats hooks
+        stats = run.stats
+        original_ack = stats.record_ack
+
+        def traced_ack(topology_id, latency_s):
+            tracer.record(
+                run.sim.now, "ack", topology_id, f"latency={latency_s * 1e3:.3f}ms"
+            )
+            return original_ack(topology_id, latency_s)
+
+        stats.record_ack = traced_ack
+
+        original_failed = stats.record_failed
+
+        def traced_failed(topology_id, tuples):
+            tracer.record(run.sim.now, "fail", topology_id, f"tuples={tuples}")
+            return original_failed(topology_id, tuples)
+
+        stats.record_failed = traced_failed
+
+    # -- queries ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def events(self) -> List[TraceEvent]:
+        return list(self._events)
+
+    def query(
+        self,
+        kind: Optional[str] = None,
+        topology: Optional[str] = None,
+        since: float = 0.0,
+        until: float = float("inf"),
+    ) -> List[TraceEvent]:
+        """Filter the trace by kind, topology and time window."""
+        return [
+            event
+            for event in self._events
+            if (kind is None or event.kind == kind)
+            and (topology is None or event.topology == topology)
+            and since <= event.time <= until
+        ]
+
+    def counts_by_kind(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for event in self._events:
+            counts[event.kind] = counts.get(event.kind, 0) + 1
+        return counts

@@ -1,0 +1,48 @@
+"""Storm programming model: components, groupings, topologies, tasks."""
+
+from repro.topology.builder import BoltDeclarer, SpoutDeclarer, TopologyBuilder
+from repro.topology.component import (
+    Bolt,
+    Component,
+    ExecutionProfile,
+    Spout,
+    StreamSubscription,
+)
+from repro.topology.grouping import (
+    AllGrouping,
+    FieldsGrouping,
+    GlobalGrouping,
+    Grouping,
+    LocalOrShuffleGrouping,
+    ShuffleGrouping,
+)
+from repro.topology.task import Task, task_label
+from repro.topology.topology import Topology
+from repro.topology.traversal import (
+    bfs_component_order,
+    dfs_component_order,
+    topological_component_order,
+)
+
+__all__ = [
+    "AllGrouping",
+    "Bolt",
+    "BoltDeclarer",
+    "Component",
+    "ExecutionProfile",
+    "FieldsGrouping",
+    "GlobalGrouping",
+    "Grouping",
+    "LocalOrShuffleGrouping",
+    "ShuffleGrouping",
+    "Spout",
+    "SpoutDeclarer",
+    "StreamSubscription",
+    "Task",
+    "Topology",
+    "TopologyBuilder",
+    "bfs_component_order",
+    "dfs_component_order",
+    "task_label",
+    "topological_component_order",
+]

@@ -1,0 +1,142 @@
+"""Stream groupings.
+
+A grouping decides which task(s) of a consuming component receive each
+tuple a producing task emits.  These mirror Apache Storm's built-in
+groupings; the simulator calls :meth:`Grouping.route` on every emitted
+batch.
+
+Routing is deterministic given the grouping state so simulation runs are
+reproducible.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Grouping",
+    "ShuffleGrouping",
+    "FieldsGrouping",
+    "AllGrouping",
+    "GlobalGrouping",
+    "LocalOrShuffleGrouping",
+]
+
+
+class Grouping:
+    """Base class for stream groupings.
+
+    Subclasses implement :meth:`route`, mapping one emitted batch to the
+    indices of the consuming tasks that receive it.  ``key`` is an opaque
+    routing key (used by fields grouping); ``local_indices`` is the subset
+    of consumer task indices co-located with the producer (used by
+    local-or-shuffle).
+    """
+
+    #: short name used in repr/reports
+    name = "grouping"
+
+    def route(
+        self,
+        num_tasks: int,
+        key: Optional[int] = None,
+        local_indices: Optional[Sequence[int]] = None,
+    ) -> Tuple[int, ...]:
+        raise NotImplementedError
+
+    def fresh(self) -> "Grouping":
+        """A copy with reset routing state (one per producer task, so
+        round-robin counters are independent)."""
+        return self.__class__()
+
+    def __repr__(self) -> str:
+        return f"{self.__class__.__name__}()"
+
+    def __eq__(self, other: object) -> bool:
+        return type(self) is type(other)
+
+    def __hash__(self) -> int:
+        return hash(type(self))
+
+
+class ShuffleGrouping(Grouping):
+    """Round-robin distribution across consumer tasks (Storm randomises;
+    round-robin gives the same uniform load deterministically)."""
+
+    name = "shuffle"
+
+    def __init__(self) -> None:
+        self._next = 0
+
+    def route(self, num_tasks, key=None, local_indices=None):
+        if num_tasks < 1:
+            raise ValueError("cannot route to a component with no tasks")
+        idx = self._next % num_tasks
+        self._next += 1
+        return (idx,)
+
+
+@dataclass(frozen=True)
+class FieldsGrouping(Grouping):
+    """Hash partitioning on a tuple field: equal keys always reach the
+    same consumer task."""
+
+    fields: Tuple[str, ...] = ("key",)
+
+    name = "fields"
+
+    def route(self, num_tasks, key=None, local_indices=None):
+        if num_tasks < 1:
+            raise ValueError("cannot route to a component with no tasks")
+        if key is None:
+            key = 0
+        digest = zlib.crc32(repr((self.fields, key)).encode())
+        return (digest % num_tasks,)
+
+    def fresh(self) -> "FieldsGrouping":
+        return self
+
+
+class AllGrouping(Grouping):
+    """Every consumer task receives a copy of every tuple."""
+
+    name = "all"
+
+    def route(self, num_tasks, key=None, local_indices=None):
+        if num_tasks < 1:
+            raise ValueError("cannot route to a component with no tasks")
+        return tuple(range(num_tasks))
+
+
+class GlobalGrouping(Grouping):
+    """The entire stream goes to the consumer task with the lowest id."""
+
+    name = "global"
+
+    def route(self, num_tasks, key=None, local_indices=None):
+        if num_tasks < 1:
+            raise ValueError("cannot route to a component with no tasks")
+        return (0,)
+
+
+class LocalOrShuffleGrouping(Grouping):
+    """Prefer consumer tasks in the same worker process as the producer,
+    falling back to shuffle across all tasks."""
+
+    name = "local_or_shuffle"
+
+    def __init__(self) -> None:
+        self._next = 0
+
+    def route(self, num_tasks, key=None, local_indices=None):
+        if num_tasks < 1:
+            raise ValueError("cannot route to a component with no tasks")
+        if local_indices:
+            candidates = sorted(local_indices)
+        else:
+            candidates = list(range(num_tasks))
+        idx = candidates[self._next % len(candidates)]
+        self._next += 1
+        return (idx,)

@@ -1,0 +1,43 @@
+"""Tasks — the scheduling unit.
+
+A task is one parallel instance of a component (Section 2: "a Storm job
+that is an instantiation of a Spout or Bolt").  In Apache Storm tasks are
+grouped into executors (threads) which are grouped into worker processes;
+this reproduction uses the common production configuration of one task
+per executor, so the task is both the unit of parallelism and the unit of
+scheduling, and worker processes (slots) remain the unit of placement
+locality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Task", "task_label"]
+
+
+@dataclass(frozen=True, order=True)
+class Task:
+    """One parallel instance of a component.
+
+    Attributes:
+        task_id: Globally unique integer id within the topology (Storm
+            numbers tasks across all components).
+        topology_id: Owning topology's id.
+        component: Component name this task instantiates.
+        instance: Index of this task within its component
+            (``0 .. parallelism-1``).
+    """
+
+    topology_id: str
+    component: str
+    instance: int
+    task_id: int
+
+    def __str__(self) -> str:
+        return f"{self.topology_id}/{self.component}[{self.instance}]"
+
+
+def task_label(task: Task) -> str:
+    """Stable label used for node resource reservations."""
+    return f"{task.topology_id}:{task.task_id}"

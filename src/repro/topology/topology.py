@@ -1,0 +1,234 @@
+"""The validated topology DAG and its task expansion.
+
+A :class:`Topology` is an immutable, validated view of the components a
+:class:`~repro.topology.builder.TopologyBuilder` declared: the component
+graph, its expansion into tasks, adjacency queries used by the BFS task
+ordering (Algorithm 2/3), and aggregate resource demands used by the
+scheduler.
+
+Note Storm topologies are *not* required to be acyclic — the paper calls
+out that R-Storm, unlike Aniello et al.'s offline scheduler, handles
+cyclic topologies.  Validation therefore checks reachability and
+subscription integrity, not acyclicity.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.cluster.resources import ResourceVector
+from repro.errors import TopologyValidationError
+from repro.topology.component import Bolt, Component, Spout, StreamSubscription
+from repro.topology.task import Task
+
+__all__ = ["Topology"]
+
+
+class Topology:
+    """An immutable Storm topology: components, streams, and tasks.
+
+    Build via :class:`~repro.topology.builder.TopologyBuilder`.
+    """
+
+    def __init__(
+        self,
+        topology_id: str,
+        components: Mapping[str, Component],
+    ):
+        if not topology_id:
+            raise TopologyValidationError("topology id must be non-empty")
+        self.topology_id = topology_id
+        self._components: Dict[str, Component] = dict(components)
+        self._validate()
+        self._tasks: Tuple[Task, ...] = self._expand_tasks()
+        self._tasks_by_component: Dict[str, Tuple[Task, ...]] = {}
+        for task in self._tasks:
+            self._tasks_by_component.setdefault(task.component, ())
+        for name in self._components:
+            self._tasks_by_component[name] = tuple(
+                t for t in self._tasks if t.component == name
+            )
+        self._downstream: Dict[str, Tuple[str, ...]] = self._build_downstream()
+
+    # -- validation --------------------------------------------------------
+
+    def _validate(self) -> None:
+        if not self._components:
+            raise TopologyValidationError(
+                f"topology {self.topology_id!r} has no components"
+            )
+        spouts = [c for c in self._components.values() if c.is_spout]
+        if not spouts:
+            raise TopologyValidationError(
+                f"topology {self.topology_id!r} has no spouts"
+            )
+        for comp in self._components.values():
+            if comp.is_spout and comp.subscriptions:
+                raise TopologyValidationError(
+                    f"spout {comp.name!r} cannot subscribe to streams"
+                )
+            if comp.is_bolt and not comp.subscriptions:
+                raise TopologyValidationError(
+                    f"bolt {comp.name!r} subscribes to no stream"
+                )
+            for sub in comp.subscriptions:
+                if sub.source not in self._components:
+                    raise TopologyValidationError(
+                        f"component {comp.name!r} subscribes to unknown "
+                        f"source {sub.source!r}"
+                    )
+                if sub.source == comp.name:
+                    raise TopologyValidationError(
+                        f"component {comp.name!r} subscribes to itself"
+                    )
+        unreachable = set(self._components) - set(self._reachable())
+        if unreachable:
+            raise TopologyValidationError(
+                f"components unreachable from any spout: {sorted(unreachable)}"
+            )
+
+    def _reachable(self) -> List[str]:
+        seen: List[str] = []
+        seen_set = set()
+        queue = deque(
+            sorted(c.name for c in self._components.values() if c.is_spout)
+        )
+        downstream: Dict[str, List[str]] = {name: [] for name in self._components}
+        for comp in self._components.values():
+            for sub in comp.subscriptions:
+                downstream[sub.source].append(comp.name)
+        while queue:
+            name = queue.popleft()
+            if name in seen_set:
+                continue
+            seen_set.add(name)
+            seen.append(name)
+            for nxt in sorted(downstream[name]):
+                if nxt not in seen_set:
+                    queue.append(nxt)
+        return seen
+
+    # -- task expansion ------------------------------------------------------
+
+    def _expand_tasks(self) -> Tuple[Task, ...]:
+        tasks: List[Task] = []
+        next_id = 1  # Storm task ids start at 1
+        for name in sorted(self._components):
+            comp = self._components[name]
+            for instance in range(comp.parallelism):
+                tasks.append(
+                    Task(
+                        topology_id=self.topology_id,
+                        component=name,
+                        instance=instance,
+                        task_id=next_id,
+                    )
+                )
+                next_id += 1
+        return tuple(tasks)
+
+    def _build_downstream(self) -> Dict[str, Tuple[str, ...]]:
+        downstream: Dict[str, List[str]] = {name: [] for name in self._components}
+        for comp in sorted(self._components):
+            for sub in self._components[comp].subscriptions:
+                downstream[sub.source].append(comp)
+        return {name: tuple(sorted(targets)) for name, targets in downstream.items()}
+
+    # -- component access ------------------------------------------------------
+
+    @property
+    def components(self) -> Dict[str, Component]:
+        return dict(self._components)
+
+    def component(self, name: str) -> Component:
+        try:
+            return self._components[name]
+        except KeyError:
+            raise TopologyValidationError(
+                f"no component {name!r} in topology {self.topology_id!r}"
+            ) from None
+
+    @property
+    def spouts(self) -> List[Spout]:
+        return [c for c in self._components.values() if c.is_spout]
+
+    @property
+    def bolts(self) -> List[Bolt]:
+        return [c for c in self._components.values() if c.is_bolt]
+
+    @property
+    def sinks(self) -> List[Component]:
+        """Components with no downstream subscribers — the "output bolts"
+        whose rates define topology throughput in the paper's evaluation."""
+        return [
+            self._components[name]
+            for name in sorted(self._components)
+            if not self._downstream[name]
+        ]
+
+    def downstream_of(self, name: str) -> Tuple[str, ...]:
+        """Component names subscribing to ``name``'s stream."""
+        self.component(name)
+        return self._downstream[name]
+
+    def upstream_of(self, name: str) -> Tuple[str, ...]:
+        """Component names whose streams ``name`` subscribes to."""
+        comp = self.component(name)
+        return tuple(sub.source for sub in comp.subscriptions)
+
+    def neighbours_of(self, name: str) -> Tuple[str, ...]:
+        """Undirected adjacency — Algorithm 2's ``com.neighbor`` walks
+        both stream directions so siblings behind a join are still
+        visited."""
+        adjacent = set(self.downstream_of(name)) | set(self.upstream_of(name))
+        return tuple(sorted(adjacent))
+
+    def edges(self) -> List[Tuple[str, str, StreamSubscription]]:
+        """All (source, target, subscription) stream edges."""
+        out = []
+        for comp in sorted(self._components):
+            for sub in self._components[comp].subscriptions:
+                out.append((sub.source, comp, sub))
+        return out
+
+    # -- task access -------------------------------------------------------
+
+    @property
+    def tasks(self) -> Tuple[Task, ...]:
+        return self._tasks
+
+    def tasks_of(self, component: str) -> Tuple[Task, ...]:
+        self.component(component)
+        return self._tasks_by_component[component]
+
+    def task_by_id(self, task_id: int) -> Task:
+        for task in self._tasks:
+            if task.task_id == task_id:
+                return task
+        raise TopologyValidationError(
+            f"no task id {task_id} in topology {self.topology_id!r}"
+        )
+
+    @property
+    def num_tasks(self) -> int:
+        return len(self._tasks)
+
+    # -- resources ------------------------------------------------------------
+
+    def task_demand(self, task: Task) -> ResourceVector:
+        """Declared per-task resource demand (the scheduler's input)."""
+        return self.component(task.component).resource_demand()
+
+    def total_demand(self) -> ResourceVector:
+        """Sum of declared demand over all tasks."""
+        total = ResourceVector.of()
+        for task in self._tasks:
+            total = total + self.task_demand(task)
+        return total
+
+    def __repr__(self) -> str:
+        return (
+            f"Topology({self.topology_id!r}, components={len(self._components)}, "
+            f"tasks={len(self._tasks)})"
+        )

@@ -1,0 +1,23 @@
+"""Evaluation workloads: micro-benchmarks and Yahoo! production topologies."""
+
+from repro.workloads.generator import TopologySpec, random_topology
+from repro.workloads.micro import (
+    VARIANTS,
+    diamond_topology,
+    linear_topology,
+    micro_topology,
+    star_topology,
+)
+from repro.workloads.yahoo import pageload_topology, processing_topology
+
+__all__ = [
+    "TopologySpec",
+    "VARIANTS",
+    "diamond_topology",
+    "linear_topology",
+    "micro_topology",
+    "pageload_topology",
+    "processing_topology",
+    "random_topology",
+    "star_topology",
+]

@@ -1,0 +1,230 @@
+"""Micro-benchmark topologies: Linear, Diamond, Star (paper Figure 7).
+
+Each comes in the two configurations of Section 6.3:
+
+* ``network`` — components do very little processing per tuple and emit
+  large tuples, so throughput is bounded by network bandwidth/latency
+  (Figure 8).
+* ``compute`` — components burn significant CPU per tuple and tuples are
+  small, so throughput is bounded by computation time (Figures 9 and 10).
+  Spout production is capped at the rate one core-quarter sustains, which
+  reproduces the paper's observation that "a topology's throughput will
+  reach a ceiling at which adding more machines will not improve
+  performance".
+
+All resource declarations (the R-Storm user API inputs) are chosen so
+that on the paper's 12-node testbed R-Storm packs the Linear, Diamond and
+Star topologies onto about 6, 7 and 6 machines respectively, as reported
+in Section 6.3.2.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import ConfigError
+from repro.topology.builder import TopologyBuilder
+from repro.topology.component import ExecutionProfile
+from repro.topology.topology import Topology
+
+__all__ = [
+    "linear_topology",
+    "diamond_topology",
+    "star_topology",
+    "micro_topology",
+    "VARIANTS",
+]
+
+VARIANTS = ("network", "compute")
+
+
+def _check_variant(variant: str) -> None:
+    if variant not in VARIANTS:
+        raise ConfigError(
+            f"unknown micro-benchmark variant {variant!r}; pick from {VARIANTS}"
+        )
+
+
+# Network-bound profile: negligible CPU, fat tuples.
+_NET_PROFILE = ExecutionProfile(
+    cpu_ms_per_tuple=0.005, tuple_bytes=256, emit_batch_tuples=100
+)
+
+#: Inter-rack fabric capacity used by the network-bound experiments.  The
+#: shared trunk carries 2.5x one NIC: roughly half the default
+#: scheduler's traffic crosses racks and contends for it, while R-Storm's
+#: rack-local placements never touch it.
+NETWORK_BOUND_UPLINK_MBPS = 250.0
+
+# Compute-bound profiles: 1 ms of CPU per tuple, skinny tuples; spouts
+# capped at 250 tuples/s per task (a quarter-core's worth at 1 ms/tuple).
+_COMPUTE_RATE_TPS = 250.0
+_COMPUTE_PROFILE = ExecutionProfile(
+    cpu_ms_per_tuple=1.0, tuple_bytes=64, emit_batch_tuples=50
+)
+_COMPUTE_SPOUT_PROFILE = ExecutionProfile(
+    cpu_ms_per_tuple=1.0,
+    tuple_bytes=64,
+    emit_batch_tuples=50,
+    max_rate_tps=_COMPUTE_RATE_TPS,
+)
+
+
+def linear_topology(
+    variant: str = "network",
+    parallelism: int = 6,
+    name: Optional[str] = None,
+) -> Topology:
+    """Spout -> bolt1 -> bolt2 -> bolt3 (Figure 7a).
+
+    The compute variant declares 25 CPU points per task: 24 tasks x 25
+    points = 600 points = 6 fully-packed single-core machines.
+    """
+    _check_variant(variant)
+    builder = TopologyBuilder(name or f"linear-{variant}")
+    if variant == "network":
+        spout_profile, bolt_profile = _NET_PROFILE, _NET_PROFILE
+        memory_mb, cpu_load = 512.0, 15.0
+    else:
+        spout_profile, bolt_profile = _COMPUTE_SPOUT_PROFILE, _COMPUTE_PROFILE
+        memory_mb, cpu_load = 256.0, 25.0
+    spout = builder.set_spout("spout", parallelism, profile=spout_profile)
+    spout.set_memory_load(memory_mb).set_cpu_load(cpu_load)
+    previous = "spout"
+    for i in range(1, 4):
+        bolt = builder.set_bolt(f"bolt-{i}", parallelism, profile=bolt_profile)
+        bolt.shuffle_grouping(previous)
+        bolt.set_memory_load(memory_mb).set_cpu_load(cpu_load)
+        previous = f"bolt-{i}"
+    return builder.build()
+
+
+def diamond_topology(
+    variant: str = "network",
+    branches: int = 2,
+    parallelism: int = 5,
+    name: Optional[str] = None,
+) -> Topology:
+    """Spout fanning out to ``branches`` middle bolts, all merging into
+    one sink bolt (Figure 7b).  Every middle bolt receives a full copy of
+    the spout's stream, so the diamond carries ``branches`` times the
+    spout's traffic — which is why its network-bound gains are the
+    smallest of the three (the paper reports +30%).
+
+    The compute variant declares 25 CPU points per spout/middle task and
+    ``branches`` x 25 per sink task: 15 x 25 + 5 x 50 = 625 points, which
+    packs onto about 7 machines, matching Section 6.3.2.
+    """
+    _check_variant(variant)
+    if branches < 1:
+        raise ConfigError("diamond needs at least one branch")
+    builder = TopologyBuilder(name or f"diamond-{variant}")
+    if variant == "network":
+        spout_profile, bolt_profile = _NET_PROFILE, _NET_PROFILE
+        memory_mb, cpu_load = 512.0, 15.0
+    else:
+        spout_profile, bolt_profile = _COMPUTE_SPOUT_PROFILE, _COMPUTE_PROFILE
+        memory_mb, cpu_load = 256.0, 25.0
+    spout = builder.set_spout("spout", parallelism, profile=spout_profile)
+    spout.set_memory_load(memory_mb).set_cpu_load(cpu_load)
+    for i in range(branches):
+        mid = builder.set_bolt(f"mid-{i}", parallelism, profile=bolt_profile)
+        mid.shuffle_grouping("spout")
+        mid.set_memory_load(memory_mb).set_cpu_load(cpu_load)
+    # The sink merges every branch's full stream, so each sink task sees
+    # ``branches`` times a middle task's load; its declared CPU reflects
+    # that (the compute variant: 3 branches x 25 points = 75 points).
+    sink = builder.set_bolt("sink", parallelism, profile=bolt_profile)
+    for i in range(branches):
+        sink.shuffle_grouping(f"mid-{i}")
+    sink.set_memory_load(memory_mb).set_cpu_load(
+        cpu_load if variant == "network" else cpu_load * branches
+    )
+    return builder.build()
+
+
+def star_topology(
+    variant: str = "network",
+    arms: int = 2,
+    arm_parallelism: int = 6,
+    center_parallelism: Optional[int] = None,
+    name: Optional[str] = None,
+) -> Topology:
+    """``arms`` spout components feeding one central bolt that feeds
+    ``arms`` sink bolts (Figure 7c).
+
+    In the compute variant the spouts are the heavy components (a full
+    core each at their rate cap): the default scheduler's round-robin
+    wraps every spout onto a machine already hosting a centre task,
+    over-utilising exactly those machines — "a scheduling is created in
+    which one of the machines ... gets over utilized in computational
+    resources and creates a bottleneck that throttles the overall
+    throughput of the Star topology" (Section 6.3.2).
+    """
+    _check_variant(variant)
+    if arms < 1:
+        raise ConfigError("star needs at least one arm")
+    if center_parallelism is None:
+        # The network variant keeps every component at equal parallelism
+        # so the BFS sweep packs one task of each component per node (no
+        # single NIC becomes a receive hotspot); the compute variant keeps
+        # the centre at 8 so declared loads total ~6 machines.
+        center_parallelism = arm_parallelism if variant == "network" else 8
+    builder = TopologyBuilder(name or f"star-{variant}")
+    if variant == "network":
+        spout_profile = _NET_PROFILE
+        center_profile = _NET_PROFILE
+        sink_profile = _NET_PROFILE
+        spout_mem, spout_cpu = 512.0, 15.0
+        center_mem, center_cpu = 512.0, 15.0
+        sink_mem, sink_cpu = 512.0, 15.0
+        spout_par, sink_par = arm_parallelism, arm_parallelism
+    else:
+        spout_profile = ExecutionProfile(
+            cpu_ms_per_tuple=4.0,
+            tuple_bytes=64,
+            emit_batch_tuples=50,
+            max_rate_tps=_COMPUTE_RATE_TPS,
+        )
+        center_profile = ExecutionProfile(
+            cpu_ms_per_tuple=2.0, tuple_bytes=64, emit_batch_tuples=50
+        )
+        sink_profile = ExecutionProfile(
+            cpu_ms_per_tuple=0.4, tuple_bytes=64, emit_batch_tuples=50
+        )
+        # A spout needs a whole core at its rate cap; declaring 100
+        # points makes R-Storm give each spout a dedicated machine while
+        # the default scheduler, oblivious, stacks centre tasks next to
+        # them.
+        spout_mem, spout_cpu = 256.0, 100.0
+        center_mem, center_cpu = 256.0, 30.0
+        sink_mem, sink_cpu = 256.0, 20.0
+        spout_par, sink_par = 2, 2
+    for i in range(arms):
+        spout = builder.set_spout(f"spout-{i}", spout_par, profile=spout_profile)
+        spout.set_memory_load(spout_mem).set_cpu_load(spout_cpu)
+    center = builder.set_bolt(
+        "center", center_parallelism, profile=center_profile
+    )
+    for i in range(arms):
+        center.shuffle_grouping(f"spout-{i}")
+    center.set_memory_load(center_mem).set_cpu_load(center_cpu)
+    for i in range(arms):
+        sink = builder.set_bolt(f"sink-{i}", sink_par, profile=sink_profile)
+        sink.shuffle_grouping("center")
+        sink.set_memory_load(sink_mem).set_cpu_load(sink_cpu)
+    return builder.build()
+
+
+def micro_topology(kind: str, variant: str = "network") -> Topology:
+    """Dispatch helper: ``kind`` in {linear, diamond, star}."""
+    builders = {
+        "linear": linear_topology,
+        "diamond": diamond_topology,
+        "star": star_topology,
+    }
+    if kind not in builders:
+        raise ConfigError(
+            f"unknown micro-benchmark {kind!r}; pick from {sorted(builders)}"
+        )
+    return builders[kind](variant=variant)

@@ -1,0 +1,103 @@
+"""Property-based invariants of the analytical flow model."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.flow import FlowModel
+from repro.cluster import emulab_testbed
+from repro.errors import SchedulingError
+from repro.scheduler.default import DefaultScheduler
+from repro.scheduler.rstorm import RStormScheduler
+from repro.workloads.generator import TopologySpec, random_topology
+
+_SPEC = TopologySpec(max_parallelism=4, max_layers=3)
+
+seeds = st.integers(min_value=0, max_value=5_000)
+
+
+def solved(seed, scheduler):
+    topology = random_topology(seed, _SPEC)
+    cluster = emulab_testbed()
+    try:
+        assignment = scheduler.schedule([topology], cluster)[
+            topology.topology_id
+        ]
+    except SchedulingError:
+        return None
+    model = FlowModel(cluster)
+    return topology, cluster, model, model.solve([(topology, assignment)])
+
+
+@settings(max_examples=20, deadline=None)
+@given(seeds)
+def test_scales_are_in_unit_interval(seed):
+    out = solved(seed, RStormScheduler())
+    if out is None:
+        return
+    _, _, _, result = out
+    for scale in result.scales.values():
+        assert 0.0 < scale <= 1.0
+
+
+@settings(max_examples=20, deadline=None)
+@given(seeds)
+def test_solution_is_feasible(seed):
+    """After convergence no CPU or NIC budget is exceeded."""
+    out = solved(seed, DefaultScheduler())
+    if out is None:
+        return
+    _, cluster, model, result = out
+    tolerance = 1.01
+    for node_id, utilisation in result.node_cpu_utilisation.items():
+        assert utilisation <= tolerance
+    for node_id, utilisation in result.node_nic_utilisation.items():
+        assert utilisation <= tolerance
+    for _, utilisation in result.uplink_utilisation.items():
+        assert utilisation <= tolerance
+
+
+@settings(max_examples=20, deadline=None)
+@given(seeds)
+def test_rates_are_nonnegative_and_throughput_consistent(seed):
+    out = solved(seed, RStormScheduler())
+    if out is None:
+        return
+    topology, _, _, result = out
+    for rate in result.task_rates.values():
+        assert rate >= 0.0
+    # topology throughput is exactly the sum of its sinks' input rates
+    sink_sum = sum(
+        result.component_rates[(topology.topology_id, sink.name)]
+        for sink in topology.sinks
+    )
+    assert result.topology_throughput_tps[topology.topology_id] == pytest.approx(
+        sink_sum
+    )
+
+
+@settings(max_examples=15, deadline=None)
+@given(seeds)
+def test_component_rate_splits_over_tasks(seed):
+    """Per-task rates of a component sum back to the component rate
+    (global grouping concentrates, everything else splits evenly)."""
+    out = solved(seed, RStormScheduler())
+    if out is None:
+        return
+    topology, _, _, result = out
+    for name in topology.components:
+        total = sum(
+            result.task_rates[t] for t in topology.tasks_of(name)
+        )
+        expected = result.component_rates[(topology.topology_id, name)]
+        assert total == pytest.approx(expected, rel=1e-6, abs=1e-6)
+
+
+@settings(max_examples=10, deadline=None)
+@given(seeds)
+def test_deterministic(seed):
+    a = solved(seed, RStormScheduler())
+    b = solved(seed, RStormScheduler())
+    if a is None or b is None:
+        assert (a is None) == (b is None)
+        return
+    assert a[3].topology_throughput_tps == b[3].topology_throughput_tps

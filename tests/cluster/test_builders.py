@@ -1,0 +1,75 @@
+"""Tests for canned cluster builders."""
+
+import pytest
+
+from repro.cluster.builders import (
+    EMULAB_NODE_CPU,
+    EMULAB_NODE_MEMORY_MB,
+    emulab_testbed,
+    heterogeneous_cluster,
+    single_rack_cluster,
+    uniform_cluster,
+)
+from repro.cluster.network import DistanceLevel
+from repro.cluster.resources import ResourceVector
+
+
+class TestEmulabTestbed:
+    def test_matches_paper_dimensions(self):
+        cluster = emulab_testbed()
+        assert len(cluster.racks) == 2
+        assert len(cluster.nodes) == 12
+        node = cluster.nodes[0]
+        assert node.capacity.memory_mb == EMULAB_NODE_MEMORY_MB == 2048.0
+        assert node.capacity.cpu == EMULAB_NODE_CPU == 100.0
+
+    def test_inter_rack_latency_is_half_the_4ms_rtt(self):
+        cluster = emulab_testbed()
+        assert cluster.topography.latency_ms(DistanceLevel.INTER_RACK) == 2.0
+
+    def test_fig13_variant_has_24_nodes(self):
+        cluster = emulab_testbed(nodes_per_rack=12)
+        assert len(cluster.nodes) == 24
+        assert len(cluster.racks) == 2
+
+    def test_node_naming_includes_rack(self):
+        cluster = emulab_testbed()
+        assert cluster.has_node("node-0-0")
+        assert cluster.has_node("node-1-5")
+        assert cluster.node("node-1-5").rack_id == "rack-1"
+
+
+class TestUniformCluster:
+    def test_shape(self):
+        cluster = uniform_cluster(
+            nodes_per_rack=3,
+            racks=4,
+            capacity=ResourceVector.of(memory_mb=1, cpu=1, bandwidth_mbps=1),
+        )
+        assert len(cluster.nodes) == 12
+        assert len(cluster.racks) == 4
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            uniform_cluster(0, 1, ResourceVector.of(memory_mb=1))
+
+
+class TestSingleRack:
+    def test_one_rack(self):
+        cluster = single_rack_cluster(5)
+        assert len(cluster.racks) == 1
+        assert len(cluster.nodes) == 5
+
+
+class TestHeterogeneous:
+    def test_per_node_capacities(self):
+        big = ResourceVector.of(memory_mb=8192, cpu=800, bandwidth_mbps=1000)
+        small = ResourceVector.of(memory_mb=1024, cpu=100, bandwidth_mbps=100)
+        cluster = heterogeneous_cluster([[big, small], [small]])
+        assert cluster.node("node-0-0").capacity == big
+        assert cluster.node("node-0-1").capacity == small
+        assert cluster.node("node-1-0").capacity == small
+
+    def test_rejects_empty_spec(self):
+        with pytest.raises(ValueError):
+            heterogeneous_cluster([])

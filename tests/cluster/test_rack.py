@@ -1,0 +1,73 @@
+"""Tests for racks."""
+
+import pytest
+
+from repro.cluster.node import Node
+from repro.cluster.rack import Rack
+from repro.cluster.resources import ResourceVector
+from repro.errors import ClusterStateError
+
+
+def node(node_id, rack_id="r1", memory=2048.0):
+    return Node(node_id, rack_id, ResourceVector.of(memory_mb=memory, cpu=100, bandwidth_mbps=100))
+
+
+class TestRackMembership:
+    def test_add_and_lookup(self):
+        rack = Rack("r1", [node("n1")])
+        assert rack.node("n1").node_id == "n1"
+        assert "n1" in rack
+        assert len(rack) == 1
+
+    def test_wrong_rack_id_rejected(self):
+        rack = Rack("r1")
+        with pytest.raises(ClusterStateError):
+            rack.add_node(node("n1", rack_id="other"))
+
+    def test_duplicate_node_rejected(self):
+        rack = Rack("r1", [node("n1")])
+        with pytest.raises(ClusterStateError):
+            rack.add_node(node("n1"))
+
+    def test_remove_node(self):
+        rack = Rack("r1", [node("n1")])
+        removed = rack.remove_node("n1")
+        assert removed.node_id == "n1"
+        assert "n1" not in rack
+
+    def test_remove_unknown_rejected(self):
+        with pytest.raises(ClusterStateError):
+            Rack("r1").remove_node("ghost")
+
+    def test_unknown_lookup_rejected(self):
+        with pytest.raises(ClusterStateError):
+            Rack("r1").node("ghost")
+
+    def test_iteration(self):
+        rack = Rack("r1", [node("n1"), node("n2")])
+        assert sorted(n.node_id for n in rack) == ["n1", "n2"]
+
+
+class TestRackScoring:
+    def test_alive_nodes_excludes_failed(self):
+        n1, n2 = node("n1"), node("n2")
+        rack = Rack("r1", [n1, n2])
+        n1.fail()
+        assert [n.node_id for n in rack.alive_nodes] == ["n2"]
+
+    def test_availability_score_sums_nodes(self):
+        rack = Rack("r1", [node("n1"), node("n2")])
+        assert rack.availability_score() == pytest.approx(6.0)
+
+    def test_availability_score_ignores_dead_nodes(self):
+        n1, n2 = node("n1"), node("n2")
+        rack = Rack("r1", [n1, n2])
+        n1.fail()
+        assert rack.availability_score() == pytest.approx(3.0)
+
+    def test_total_available(self):
+        rack = Rack("r1", [node("n1", memory=1000), node("n2", memory=500)])
+        assert rack.total_available().memory_mb == 1500
+
+    def test_total_available_empty_rack(self):
+        assert Rack("r1").total_available() is None

@@ -1,0 +1,64 @@
+"""Tests for the CLI and the experiment registry."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.experiments import REGISTRY
+
+
+class TestRegistry:
+    def test_every_paper_figure_registered(self):
+        for figure in ("fig8", "fig9", "fig10", "fig12", "fig13"):
+            assert figure in REGISTRY
+
+    def test_extras_registered(self):
+        assert "overhead" in REGISTRY
+        assert "ablations" in REGISTRY
+
+
+class TestParser:
+    def test_experiment_choices(self):
+        parser = build_parser()
+        args = parser.parse_args(["fig8", "--duration", "30"])
+        assert args.experiment == "fig8"
+        assert args.duration == 30.0
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig99"])
+
+
+class TestMain:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig8" in out and "ablations" in out
+
+    def test_run_overhead_experiment(self, capsys):
+        assert main(["overhead"]) == 0
+        out = capsys.readouterr().out
+        assert "overhead" in out
+        assert "r-storm_ms" in out
+
+    def test_save_writes_table_and_series(self, tmp_path, capsys):
+        from repro.cli import save_result
+        from repro.experiments.harness import ExperimentResult
+
+        result = ExperimentResult("demo", "title")
+        result.add_row(a=1)
+        result.add_series("x", [(0.0, 5), (10.0, 7)])
+        written = save_result(result, str(tmp_path))
+        assert (tmp_path / "demo.txt").exists()
+        assert (tmp_path / "demo_series.csv").exists()
+        csv_text = (tmp_path / "demo_series.csv").read_text()
+        assert "window_start_s,x" in csv_text
+        assert len(written) == 2
+
+    def test_save_without_series_writes_table_only(self, tmp_path):
+        from repro.cli import save_result
+        from repro.experiments.harness import ExperimentResult
+
+        result = ExperimentResult("demo2", "title")
+        result.add_row(a=1)
+        written = save_result(result, str(tmp_path))
+        assert written == [str(tmp_path / "demo2.txt")]

@@ -1,0 +1,78 @@
+"""End-to-end integration: build -> schedule -> simulate -> measure."""
+
+import pytest
+
+from repro.cluster import emulab_testbed
+from repro.scheduler import (
+    AnielloOfflineScheduler,
+    DefaultScheduler,
+    RStormScheduler,
+)
+from repro.simulation import SimulationConfig, SimulationRun
+from repro.workloads import (
+    diamond_topology,
+    linear_topology,
+    micro_topology,
+    star_topology,
+)
+from repro.workloads.micro import NETWORK_BOUND_UPLINK_MBPS
+
+SHORT = SimulationConfig(duration_s=30.0, warmup_s=10.0)
+
+
+@pytest.mark.parametrize(
+    "scheduler_cls", [RStormScheduler, DefaultScheduler, AnielloOfflineScheduler]
+)
+@pytest.mark.parametrize("kind", ["linear", "diamond", "star"])
+def test_every_scheduler_runs_every_micro_topology(scheduler_cls, kind):
+    topology = micro_topology(kind, "network")
+    cluster = emulab_testbed()
+    assignment = scheduler_cls().schedule([topology], cluster)[
+        topology.topology_id
+    ]
+    report = SimulationRun(cluster, [(topology, assignment)], SHORT).run()
+    assert report.sunk(topology.topology_id) > 0
+    assert report.emitted(topology.topology_id) > 0
+
+
+def test_multiple_topologies_share_one_simulation():
+    cluster = emulab_testbed(nodes_per_rack=12)
+    t1 = linear_topology("network", name="tenant-a")
+    t2 = diamond_topology("network", name="tenant-b")
+    scheduler = RStormScheduler()
+    assignments = scheduler.schedule([t1, t2], cluster)
+    run = SimulationRun(
+        cluster,
+        [(t1, assignments["tenant-a"]), (t2, assignments["tenant-b"])],
+        SHORT,
+        interrack_uplink_mbps=NETWORK_BOUND_UPLINK_MBPS,
+    )
+    report = run.run()
+    assert report.sunk("tenant-a") > 0
+    assert report.sunk("tenant-b") > 0
+
+
+def test_report_summary_covers_all_topologies():
+    topology = star_topology("network")
+    cluster = emulab_testbed()
+    assignment = RStormScheduler().schedule([topology], cluster)[
+        topology.topology_id
+    ]
+    report = SimulationRun(cluster, [(topology, assignment)], SHORT).run()
+    summary = report.summary()
+    assert topology.topology_id in summary
+    assert summary[topology.topology_id]["avg_tuples_per_window"] > 0
+
+
+def test_repeated_runs_do_not_interfere():
+    """Scheduling mutates node reservations; fresh clusters are isolated."""
+    topology = linear_topology("network")
+    results = []
+    for _ in range(2):
+        cluster = emulab_testbed()
+        assignment = RStormScheduler().schedule([topology], cluster)[
+            topology.topology_id
+        ]
+        report = SimulationRun(cluster, [(topology, assignment)], SHORT).run()
+        results.append(report.sunk(topology.topology_id))
+    assert results[0] == results[1]

@@ -1,0 +1,95 @@
+"""Tests for the Assignment value object."""
+
+import pytest
+
+from repro.cluster.node import WorkerSlot
+from repro.errors import SchedulingError
+from repro.scheduler.assignment import Assignment
+from repro.topology.builder import TopologyBuilder
+
+
+@pytest.fixture
+def topology():
+    builder = TopologyBuilder("t")
+    builder.set_spout("s", 2)
+    builder.set_bolt("b", 2).shuffle_grouping("s")
+    return builder.build()
+
+
+def slot(node, port=6700):
+    return WorkerSlot(node, port)
+
+
+@pytest.fixture
+def assignment(topology):
+    tasks = topology.tasks
+    return Assignment(
+        "t",
+        {
+            tasks[0]: slot("n1"),
+            tasks[1]: slot("n1", 6701),
+            tasks[2]: slot("n2"),
+            tasks[3]: slot("n2"),
+        },
+    )
+
+
+class TestQueries:
+    def test_slot_and_node_of(self, topology, assignment):
+        assert assignment.slot_of(topology.tasks[0]) == slot("n1")
+        assert assignment.node_of(topology.tasks[2]) == "n2"
+
+    def test_unassigned_task_raises(self, topology):
+        empty = Assignment("t", {})
+        with pytest.raises(SchedulingError):
+            empty.slot_of(topology.tasks[0])
+
+    def test_nodes_and_slots(self, assignment):
+        assert assignment.nodes == ("n1", "n2")
+        assert len(assignment.slots) == 3
+
+    def test_tasks_on_slot_and_node(self, topology, assignment):
+        assert assignment.tasks_on_slot(slot("n2")) == (
+            topology.tasks[2],
+            topology.tasks[3],
+        )
+        assert len(assignment.tasks_on_node("n1")) == 2
+        assert assignment.tasks_on_node("ghost") == ()
+
+    def test_completeness(self, topology, assignment):
+        assert assignment.is_complete(topology)
+        partial = Assignment("t", {topology.tasks[0]: slot("n1")})
+        assert not partial.is_complete(topology)
+        assert len(partial.missing_tasks(topology)) == 3
+
+    def test_len_and_eq(self, topology, assignment):
+        assert len(assignment) == 4
+        same = Assignment("t", assignment.as_dict())
+        assert assignment == same
+        assert hash(assignment) == hash(same)
+
+
+class TestConstruction:
+    def test_foreign_task_rejected(self):
+        builder = TopologyBuilder("other")
+        builder.set_spout("s", 1)
+        other = builder.build()
+        with pytest.raises(SchedulingError):
+            Assignment("t", {other.tasks[0]: slot("n1")})
+
+
+class TestSurgery:
+    def test_restricted_to_nodes(self, topology, assignment):
+        surviving = assignment.restricted_to_nodes(["n1"])
+        assert surviving.nodes == ("n1",)
+        assert len(surviving) == 2
+
+    def test_merged_with(self, topology, assignment):
+        override = Assignment("t", {topology.tasks[0]: slot("n9")})
+        merged = assignment.merged_with(override)
+        assert merged.node_of(topology.tasks[0]) == "n9"
+        assert merged.node_of(topology.tasks[3]) == "n2"
+
+    def test_merge_different_topologies_rejected(self, assignment):
+        with pytest.raises(SchedulingError):
+            assignment.merged_with(Assignment("other", {}))

@@ -1,0 +1,109 @@
+"""Tests for the default (round-robin/even) scheduler."""
+
+import pytest
+
+from repro.cluster import emulab_testbed, single_rack_cluster
+from repro.errors import SchedulingError
+from repro.scheduler.default import DefaultScheduler, interleaved_slots
+from tests.conftest import make_linear
+
+
+class TestSlotOrdering:
+    def test_first_n_slots_on_distinct_nodes(self):
+        cluster = emulab_testbed()
+        slots = interleaved_slots(cluster)
+        first_12 = slots[:12]
+        assert len({s.node_id for s in first_12}) == 12
+
+    def test_all_slots_listed(self):
+        cluster = emulab_testbed()
+        assert len(interleaved_slots(cluster)) == 12 * 4
+
+    def test_excludes_dead_nodes(self):
+        cluster = emulab_testbed()
+        cluster.fail_node("node-0-0")
+        slots = interleaved_slots(cluster)
+        assert all(s.node_id != "node-0-0" for s in slots)
+
+    def test_pseudo_random_order_mixes_racks(self):
+        """The paper's "pseudo-random round robin": consecutive nodes are
+        not rack-contiguous."""
+        cluster = emulab_testbed()
+        slots = interleaved_slots(cluster)[:12]
+        racks = [cluster.node(s.node_id).rack_id for s in slots]
+        assert racks != sorted(racks)
+
+    def test_deterministic(self):
+        a = interleaved_slots(emulab_testbed())
+        b = interleaved_slots(emulab_testbed())
+        assert a == b
+
+
+class TestScheduling:
+    def test_spreads_over_all_nodes(self):
+        cluster = emulab_testbed()
+        topology = make_linear(parallelism=4, stages=3)  # 12 tasks
+        assignment = DefaultScheduler().schedule([topology], cluster)["chain"]
+        assert assignment.is_complete(topology)
+        assert len(assignment.nodes) == 12
+
+    def test_ignores_resources_entirely(self):
+        cluster = emulab_testbed()
+        # demands that massively exceed every node: default happily places
+        topology = make_linear(memory_mb=99999.0, cpu=9999.0)
+        assignment = DefaultScheduler().schedule([topology], cluster)["chain"]
+        assert assignment.is_complete(topology)
+
+    def test_workers_per_topology_limits_spread(self):
+        cluster = emulab_testbed()
+        topology = make_linear(parallelism=4, stages=3)
+        scheduler = DefaultScheduler(workers_per_topology=3)
+        assignment = scheduler.schedule([topology], cluster)["chain"]
+        assert len(assignment.slots) == 3
+
+    def test_invalid_workers_rejected(self):
+        with pytest.raises(ValueError):
+            DefaultScheduler(workers_per_topology=0)
+
+    def test_no_alive_slots_raises(self):
+        cluster = single_rack_cluster(1)
+        cluster.fail_node(cluster.nodes[0].node_id)
+        with pytest.raises(SchedulingError):
+            DefaultScheduler().schedule([make_linear()], cluster)
+
+    def test_existing_assignments_preserved(self):
+        cluster = emulab_testbed()
+        topology = make_linear(parallelism=4, stages=3)
+        scheduler = DefaultScheduler()
+        first = scheduler.schedule([topology], cluster)["chain"]
+        second = scheduler.schedule([topology], cluster, {"chain": first})[
+            "chain"
+        ]
+        assert second == first
+
+    def test_orphaned_tasks_rescheduled_after_failure(self):
+        cluster = emulab_testbed()
+        topology = make_linear(parallelism=4, stages=3)
+        scheduler = DefaultScheduler()
+        first = scheduler.schedule([topology], cluster)["chain"]
+        victim = first.nodes[0]
+        cluster.fail_node(victim)
+        second = scheduler.schedule([topology], cluster, {"chain": first})[
+            "chain"
+        ]
+        assert second.is_complete(topology)
+        assert victim not in second.nodes
+        # surviving placements stay put
+        for task in first.tasks:
+            if first.node_of(task) != victim:
+                assert second.slot_of(task) == first.slot_of(task)
+
+    def test_multiple_topologies_continue_round_robin(self):
+        cluster = emulab_testbed()
+        t1 = make_linear("t1", parallelism=1, stages=2)
+        t2 = make_linear("t2", parallelism=1, stages=2)
+        assignments = DefaultScheduler().schedule([t1, t2], cluster)
+        slots1 = set(assignments["t1"].slots)
+        slots2 = set(assignments["t2"].slots)
+        # the cursor advances, so the two topologies use different workers
+        assert slots1.isdisjoint(slots2)

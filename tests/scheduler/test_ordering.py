@@ -1,0 +1,82 @@
+"""Tests for task selection (Algorithm 3)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.scheduler.ordering import (
+    TaskOrderingStrategy,
+    interleave_component_tasks,
+    ordered_tasks,
+)
+from repro.topology.builder import TopologyBuilder
+
+
+def linear(parallelisms=(2, 3, 1)):
+    builder = TopologyBuilder("t")
+    builder.set_spout("c0", parallelisms[0])
+    for i in range(1, len(parallelisms)):
+        builder.set_bolt(f"c{i}", parallelisms[i]).shuffle_grouping(f"c{i - 1}")
+    return builder.build()
+
+
+class TestInterleaving:
+    def test_round_robin_across_components(self):
+        topology = linear((2, 2, 2))
+        ordering = ordered_tasks(topology)
+        components = [t.component for t in ordering]
+        assert components == ["c0", "c1", "c2", "c0", "c1", "c2"]
+
+    def test_uneven_parallelism_drains_long_components_last(self):
+        topology = linear((1, 3, 1))
+        ordering = ordered_tasks(topology)
+        components = [t.component for t in ordering]
+        assert components == ["c0", "c1", "c2", "c1", "c1"]
+
+    def test_all_tasks_exactly_once(self):
+        topology = linear((3, 2, 4))
+        ordering = ordered_tasks(topology)
+        assert sorted(ordering) == sorted(topology.tasks)
+
+    def test_within_component_instance_order(self):
+        topology = linear((3, 1))
+        ordering = ordered_tasks(topology)
+        instances = [t.instance for t in ordering if t.component == "c0"]
+        assert instances == [0, 1, 2]
+
+    def test_interleave_respects_given_component_order(self):
+        topology = linear((1, 1, 1))
+        ordering = interleave_component_tasks(topology, ["c2", "c0", "c1"])
+        assert [t.component for t in ordering] == ["c2", "c0", "c1"]
+
+
+class TestStrategies:
+    @pytest.mark.parametrize("strategy", list(TaskOrderingStrategy))
+    def test_every_strategy_covers_all_tasks(self, strategy):
+        topology = linear((2, 3, 2))
+        ordering = ordered_tasks(topology, strategy)
+        assert sorted(ordering) == sorted(topology.tasks)
+
+    def test_bfs_is_default(self):
+        topology = linear((2, 2))
+        assert ordered_tasks(topology) == ordered_tasks(
+            topology, TaskOrderingStrategy.BFS
+        )
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(st.integers(min_value=1, max_value=5), min_size=1, max_size=5)
+    )
+    def test_ordering_is_permutation_for_any_chain(self, parallelisms):
+        topology = linear(tuple(parallelisms))
+        for strategy in TaskOrderingStrategy:
+            ordering = ordered_tasks(topology, strategy)
+            assert sorted(ordering) == sorted(topology.tasks)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(st.integers(min_value=1, max_value=4), min_size=2, max_size=4)
+    )
+    def test_first_task_is_from_a_spout(self, parallelisms):
+        topology = linear(tuple(parallelisms))
+        ordering = ordered_tasks(topology, TaskOrderingStrategy.BFS)
+        assert topology.component(ordering[0].component).is_spout

@@ -1,0 +1,101 @@
+"""Tests for schedule quality metrics."""
+
+import pytest
+
+from repro.cluster import emulab_testbed
+from repro.cluster.network import DistanceLevel
+from repro.cluster.node import WorkerSlot
+from repro.scheduler.assignment import Assignment
+from repro.scheduler.quality import aggregate_node_load, evaluate_assignment
+from tests.conftest import make_linear
+
+
+@pytest.fixture
+def cluster():
+    return emulab_testbed()
+
+
+def all_on_one_slot(topology, cluster):
+    slot = cluster.nodes[0].slots[0]
+    return Assignment(
+        topology.topology_id, {t: slot for t in topology.tasks}
+    )
+
+
+class TestNetworkDistance:
+    def test_single_slot_assignment_has_zero_distance(self, cluster):
+        topology = make_linear(parallelism=2, stages=2)
+        assignment = all_on_one_slot(topology, cluster)
+        quality = evaluate_assignment(topology, assignment, cluster)
+        assert quality.total_network_distance == 0.0
+        assert quality.pairs_by_level[DistanceLevel.INTRA_PROCESS] == 4
+
+    def test_task_pairs_counted_per_edge(self, cluster):
+        topology = make_linear(parallelism=3, stages=3)
+        assignment = all_on_one_slot(topology, cluster)
+        quality = evaluate_assignment(topology, assignment, cluster)
+        # 2 edges x 3 producers x 3 consumers
+        assert quality.task_pairs == 18
+
+    def test_cross_rack_assignment_measured(self, cluster):
+        topology = make_linear(parallelism=1, stages=2)
+        tasks = topology.tasks
+        assignment = Assignment(
+            "chain",
+            {
+                tasks[0]: cluster.node("node-0-0").slots[0],
+                tasks[1]: cluster.node("node-1-0").slots[0],
+            },
+        )
+        quality = evaluate_assignment(topology, assignment, cluster)
+        assert quality.pairs_by_level[DistanceLevel.INTER_RACK] == 1
+        assert quality.mean_network_distance == cluster.topography.distance(
+            DistanceLevel.INTER_RACK
+        )
+
+
+class TestLoadAccounting:
+    def test_aggregate_node_load_sums_demands(self, cluster):
+        topology = make_linear(parallelism=2, stages=2, memory_mb=300)
+        assignment = all_on_one_slot(topology, cluster)
+        load = aggregate_node_load([(topology, assignment)])
+        assert load[cluster.nodes[0].node_id].memory_mb == 4 * 300
+
+    def test_hard_violations_detected(self, cluster):
+        topology = make_linear(parallelism=4, stages=2, memory_mb=300)
+        assignment = all_on_one_slot(topology, cluster)  # 2400 > 2048
+        quality = evaluate_assignment(topology, assignment, cluster)
+        assert quality.hard_violations == 1
+
+    def test_cpu_overcommit_reported(self, cluster):
+        topology = make_linear(parallelism=4, stages=2, memory_mb=100, cpu=30)
+        assignment = all_on_one_slot(topology, cluster)  # 240 points on 100
+        quality = evaluate_assignment(topology, assignment, cluster)
+        assert quality.max_cpu_overcommit == pytest.approx(2.4)
+
+    def test_extra_assignments_count_toward_violations(self, cluster):
+        t1 = make_linear("t1", parallelism=2, stages=2, memory_mb=600)
+        t2 = make_linear("t2", parallelism=2, stages=2, memory_mb=600)
+        a1 = all_on_one_slot(t1, cluster)
+        a2 = Assignment(
+            "t2",
+            {t: WorkerSlot(cluster.nodes[0].node_id, 6701) for t in t2.tasks},
+        )
+        quality = evaluate_assignment(
+            t1, a1, cluster, extra_assignments={"t2": (t2, a2)}
+        )
+        assert quality.hard_violations == 1  # 4800 MB on one 2048 MB node
+
+    def test_nodes_and_slots_used(self, cluster):
+        topology = make_linear(parallelism=1, stages=2)
+        tasks = topology.tasks
+        assignment = Assignment(
+            "chain",
+            {
+                tasks[0]: cluster.node("node-0-0").slots[0],
+                tasks[1]: cluster.node("node-0-0").slots[1],
+            },
+        )
+        quality = evaluate_assignment(topology, assignment, cluster)
+        assert quality.nodes_used == 1
+        assert quality.slots_used == 2

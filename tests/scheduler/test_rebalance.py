@@ -1,0 +1,122 @@
+"""Tests for the online rebalancing controller."""
+
+import pytest
+
+from repro.cluster import ResourceVector, single_rack_cluster
+from repro.scheduler.assignment import Assignment
+from repro.scheduler.rebalance import OnlineRebalancer
+from repro.scheduler.rstorm import RStormScheduler
+from repro.simulation import SimulationConfig, SimulationRun
+from repro.topology.builder import TopologyBuilder
+from repro.topology.component import ExecutionProfile
+
+
+def hot_topology():
+    """Two CPU-heavy pipelines that saturate one core together."""
+    builder = TopologyBuilder("hot")
+    spout_prof = ExecutionProfile(
+        cpu_ms_per_tuple=0.8, emit_batch_tuples=50, max_rate_tps=600.0
+    )
+    bolt_prof = ExecutionProfile(cpu_ms_per_tuple=0.8, emit_batch_tuples=50)
+    builder.set_spout("s", 2, profile=spout_prof).set_memory_load(
+        128.0
+    ).set_cpu_load(50.0)
+    builder.set_bolt("b", 2, profile=bolt_prof).shuffle_grouping(
+        "s"
+    ).set_memory_load(128.0).set_cpu_load(50.0)
+    return builder.build()
+
+
+def make_cluster():
+    return single_rack_cluster(
+        4,
+        capacity=ResourceVector.of(memory_mb=2048, cpu=100, bandwidth_mbps=1000),
+    )
+
+
+def pathological_assignment(topology, cluster):
+    """Everything crammed onto one node — the hot-node scenario."""
+    slot = cluster.nodes[0].slots[0]
+    return Assignment("hot", {task: slot for task in topology.tasks})
+
+
+class TestValidation:
+    def test_invalid_watermark_rejected(self):
+        with pytest.raises(ValueError):
+            OnlineRebalancer(make_cluster(), high_watermark=0.0)
+        with pytest.raises(ValueError):
+            OnlineRebalancer(make_cluster(), high_watermark=1.5)
+
+    def test_invalid_interval_rejected(self):
+        with pytest.raises(ValueError):
+            OnlineRebalancer(make_cluster(), interval_s=0.0)
+
+
+class TestRebalancing:
+    def test_migrates_tasks_off_hot_node(self):
+        topology = hot_topology()
+        cluster = make_cluster()
+        assignment = pathological_assignment(topology, cluster)
+        run = SimulationRun(
+            cluster,
+            [(topology, assignment)],
+            SimulationConfig(duration_s=120.0, warmup_s=10.0),
+        )
+        placements = {"hot": (topology, assignment)}
+        rebalancer = OnlineRebalancer(cluster, interval_s=20.0)
+        rebalancer.attach(run, placements)
+        run.run()
+        assert rebalancer.migrations
+        final = placements["hot"][1]
+        assert len(final.nodes) > 1  # spread out from the single hot node
+
+    def test_rebalancing_improves_throughput(self):
+        def run_once(rebalance):
+            topology = hot_topology()
+            cluster = make_cluster()
+            assignment = pathological_assignment(topology, cluster)
+            run = SimulationRun(
+                cluster,
+                [(topology, assignment)],
+                SimulationConfig(duration_s=120.0, warmup_s=60.0),
+            )
+            if rebalance:
+                rebalancer = OnlineRebalancer(cluster, interval_s=20.0)
+                rebalancer.attach(run, {"hot": (topology, assignment)})
+            return run.run().average_throughput_per_window("hot")
+
+        static = run_once(rebalance=False)
+        rebalanced = run_once(rebalance=True)
+        assert rebalanced > 1.2 * static
+
+    def test_balanced_schedule_left_alone(self):
+        topology = hot_topology()
+        cluster = make_cluster()
+        assignment = RStormScheduler().schedule([topology], cluster)["hot"]
+        run = SimulationRun(
+            cluster,
+            [(topology, assignment)],
+            SimulationConfig(duration_s=90.0, warmup_s=10.0),
+        )
+        rebalancer = OnlineRebalancer(
+            cluster, interval_s=20.0, high_watermark=0.99
+        )
+        rebalancer.attach(run, {"hot": (topology, assignment)})
+        run.run()
+        assert rebalancer.migrations == []
+
+    def test_migration_cap_respected(self):
+        topology = hot_topology()
+        cluster = make_cluster()
+        assignment = pathological_assignment(topology, cluster)
+        run = SimulationRun(
+            cluster,
+            [(topology, assignment)],
+            SimulationConfig(duration_s=120.0, warmup_s=10.0),
+        )
+        rebalancer = OnlineRebalancer(
+            cluster, interval_s=10.0, max_migrations=1
+        )
+        rebalancer.attach(run, {"hot": (topology, assignment)})
+        run.run()
+        assert len(rebalancer.migrations) <= 1

@@ -1,0 +1,97 @@
+"""Tests for the schedule visualiser."""
+
+import pytest
+
+from repro.cluster import emulab_testbed
+from repro.scheduler.assignment import Assignment
+from repro.scheduler.default import DefaultScheduler
+from repro.scheduler.rstorm import RStormScheduler
+from repro.scheduler.visualise import render_assignments, render_node_loads
+from tests.conftest import make_linear
+
+
+@pytest.fixture
+def scheduled():
+    cluster = emulab_testbed()
+    topology = make_linear(parallelism=2, stages=2)
+    assignment = RStormScheduler().schedule([topology], cluster)["chain"]
+    return cluster, topology, assignment
+
+
+class TestRenderAssignments:
+    def test_shows_racks_nodes_slots_tasks(self, scheduled):
+        cluster, topology, assignment = scheduled
+        text = render_assignments(cluster, [(topology, assignment)])
+        assert "rack-0/" in text
+        assert ":67" in text  # slot ports
+        assert "stage-0[0]" in text
+
+    def test_empty_nodes_hidden_by_default(self, scheduled):
+        cluster, topology, assignment = scheduled
+        text = render_assignments(cluster, [(topology, assignment)])
+        shown_nodes = [l for l in text.splitlines() if l.startswith("  node")]
+        assert len(shown_nodes) == len(assignment.nodes)
+
+    def test_show_empty_nodes(self, scheduled):
+        cluster, topology, assignment = scheduled
+        text = render_assignments(
+            cluster, [(topology, assignment)], show_empty_nodes=True
+        )
+        shown_nodes = [l for l in text.splitlines() if l.startswith("  node")]
+        assert len(shown_nodes) == 12
+
+    def test_resource_loads_in_brackets(self, scheduled):
+        cluster, topology, assignment = scheduled
+        text = render_assignments(cluster, [(topology, assignment)])
+        assert "MB" in text and "pts" in text
+
+    def test_overcommit_flagged(self):
+        cluster = emulab_testbed()
+        topology = make_linear(parallelism=4, stages=3, memory_mb=900)
+        slot = cluster.nodes[0].slots[0]
+        assignment = Assignment(
+            "chain", {t: slot for t in topology.tasks}
+        )
+        text = render_assignments(cluster, [(topology, assignment)])
+        assert "MEMORY OVER-COMMITTED" in text
+
+    def test_dead_node_marked(self, scheduled):
+        cluster, topology, assignment = scheduled
+        cluster.fail_node(assignment.nodes[0])
+        text = render_assignments(cluster, [(topology, assignment)])
+        assert "(DEAD)" in text
+
+    def test_multiple_topologies_prefixed(self):
+        cluster = emulab_testbed()
+        t1 = make_linear("alpha", parallelism=1, stages=2)
+        t2 = make_linear("beta", parallelism=1, stages=2)
+        assignments = DefaultScheduler().schedule([t1, t2], cluster)
+        text = render_assignments(
+            cluster, [(t1, assignments["alpha"]), (t2, assignments["beta"])]
+        )
+        assert "alpha/stage-0[0]" in text
+        assert "beta/stage-0[0]" in text
+
+    def test_no_tasks(self):
+        cluster = emulab_testbed()
+        topology = make_linear(parallelism=1, stages=1)
+        empty = Assignment("chain", {})
+        assert render_assignments(cluster, [(topology, empty)]) == (
+            "(no tasks placed)"
+        )
+
+
+class TestRenderNodeLoads:
+    def test_bars_and_percentages(self, scheduled):
+        cluster, topology, assignment = scheduled
+        text = render_node_loads(cluster, [(topology, assignment)])
+        assert "cpu |" in text and "mem |" in text
+        assert "%" in text
+
+    def test_overfull_bar_marked(self):
+        cluster = emulab_testbed()
+        topology = make_linear(parallelism=4, stages=3, cpu=60)
+        slot = cluster.nodes[0].slots[0]
+        assignment = Assignment("chain", {t: slot for t in topology.tasks})
+        text = render_node_loads(cluster, [(topology, assignment)])
+        assert "+" in text  # over 100%

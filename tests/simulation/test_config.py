@@ -1,0 +1,48 @@
+"""Tests for SimulationConfig validation."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.simulation.config import SimulationConfig
+
+
+class TestDefaults:
+    def test_defaults_valid(self):
+        config = SimulationConfig()
+        assert config.window_s == 10.0  # the paper's reporting window
+        assert config.max_spout_pending == 10
+
+    def test_unbounded_pending_allowed(self):
+        assert SimulationConfig(max_spout_pending=None).max_spout_pending is None
+
+    def test_crash_model_can_be_disabled(self):
+        config = SimulationConfig(queue_overflow_batches=None)
+        assert config.queue_overflow_batches is None
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"duration_s": 0.0},
+            {"duration_s": -1.0},
+            {"window_s": 0.0},
+            {"warmup_s": -1.0},
+            {"warmup_s": 120.0, "duration_s": 120.0},
+            {"max_spout_pending": 0},
+            {"batch_timeout_s": 0.0},
+            {"thrash_factor": 0.5},
+            {"context_switch_overhead": -0.1},
+            {"serde_ms_per_tuple": -0.1},
+            {"queue_overflow_batches": 0},
+            {"worker_restart_s": -1.0},
+        ],
+    )
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ConfigError):
+            SimulationConfig(**kwargs)
+
+    def test_frozen(self):
+        config = SimulationConfig()
+        with pytest.raises(AttributeError):
+            config.duration_s = 5.0

@@ -1,0 +1,123 @@
+"""Tests for the discrete-event engine."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import SimulationError
+from repro.simulation.engine import Simulator
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_at(2.0, lambda: fired.append("b"))
+        sim.schedule_at(1.0, lambda: fired.append("a"))
+        sim.schedule_at(3.0, lambda: fired.append("c"))
+        sim.run(10.0)
+        assert fired == ["a", "b", "c"]
+
+    def test_fifo_tie_breaking(self):
+        sim = Simulator()
+        fired = []
+        for i in range(5):
+            sim.schedule_at(1.0, lambda i=i: fired.append(i))
+        sim.run(1.0)
+        assert fired == [0, 1, 2, 3, 4]
+
+    def test_schedule_after(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_after(0.5, lambda: fired.append(sim.now))
+        sim.run(1.0)
+        assert fired == [0.5]
+
+    def test_events_can_schedule_events(self):
+        sim = Simulator()
+        fired = []
+
+        def chain():
+            fired.append(sim.now)
+            if sim.now < 0.35:
+                sim.schedule_after(0.1, chain)
+
+        sim.schedule_at(0.1, chain)
+        sim.run(1.0)
+        assert fired == pytest.approx([0.1, 0.2, 0.3, 0.4])
+
+    def test_past_scheduling_rejected(self):
+        sim = Simulator()
+        sim.schedule_at(1.0, lambda: None)
+        sim.run(2.0)
+        with pytest.raises(SimulationError):
+            sim.schedule_at(1.0, lambda: None)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            Simulator().schedule_after(-0.1, lambda: None)
+
+
+class TestRun:
+    def test_clock_advances_to_horizon(self):
+        sim = Simulator()
+        sim.run(5.0)
+        assert sim.now == 5.0
+
+    def test_events_beyond_horizon_not_fired(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_at(7.0, lambda: fired.append(True))
+        sim.run(5.0)
+        assert fired == []
+        sim.run(10.0)
+        assert fired == [True]
+
+    def test_events_exactly_at_horizon_fire(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_at(5.0, lambda: fired.append(True))
+        sim.run(5.0)
+        assert fired == [True]
+
+    def test_running_backwards_rejected(self):
+        sim = Simulator()
+        sim.run(5.0)
+        with pytest.raises(SimulationError):
+            sim.run(4.0)
+
+    def test_step(self):
+        sim = Simulator()
+        sim.schedule_at(1.0, lambda: None)
+        assert sim.step() is True
+        assert sim.now == 1.0
+        assert sim.step() is False
+
+    def test_peek_time(self):
+        sim = Simulator()
+        assert sim.peek_time() is None
+        sim.schedule_at(3.0, lambda: None)
+        assert sim.peek_time() == 3.0
+
+    def test_events_processed_counter(self):
+        sim = Simulator()
+        for i in range(4):
+            sim.schedule_at(float(i), lambda: None)
+        sim.run(10.0)
+        assert sim.events_processed == 4
+
+
+@given(
+    st.lists(
+        st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+        min_size=1,
+        max_size=50,
+    )
+)
+def test_property_fire_times_nondecreasing(times):
+    sim = Simulator()
+    observed = []
+    for t in times:
+        sim.schedule_at(t, lambda: observed.append(sim.now))
+    sim.run(101.0)
+    assert observed == sorted(observed)
+    assert len(observed) == len(times)

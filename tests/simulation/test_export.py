@@ -1,0 +1,83 @@
+"""Tests for result export (CSV series, JSON summaries)."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.cluster import emulab_testbed
+from repro.scheduler.rstorm import RStormScheduler
+from repro.simulation import (
+    SimulationConfig,
+    SimulationRun,
+    report_as_dict,
+    throughput_series_csv,
+    write_report_json,
+    write_throughput_series_csv,
+)
+from tests.conftest import make_linear
+
+
+@pytest.fixture(scope="module")
+def report():
+    topology = make_linear(parallelism=2, stages=2)
+    cluster = emulab_testbed()
+    assignment = RStormScheduler().schedule([topology], cluster)["chain"]
+    run = SimulationRun(
+        cluster,
+        [(topology, assignment)],
+        SimulationConfig(duration_s=30.0, warmup_s=10.0),
+    )
+    return run.run()
+
+
+class TestCsv:
+    def test_header_and_rows(self, report):
+        text = throughput_series_csv(report)
+        rows = list(csv.reader(io.StringIO(text)))
+        assert rows[0] == ["window_start_s", "chain"]
+        assert len(rows) == 1 + 3  # 3 windows in 30 s
+
+    def test_values_match_report(self, report):
+        text = throughput_series_csv(report)
+        rows = list(csv.reader(io.StringIO(text)))
+        series = dict(report.throughput_series("chain"))
+        for start_s, value in rows[1:]:
+            assert int(value) == series[float(start_s)]
+
+    def test_subset_of_topologies(self, report):
+        text = throughput_series_csv(report, topology_ids=["chain"])
+        assert "chain" in text.splitlines()[0]
+
+    def test_write_to_file(self, report, tmp_path):
+        path = tmp_path / "series.csv"
+        write_throughput_series_csv(report, str(path))
+        assert path.read_text().startswith("window_start_s")
+
+
+class TestJson:
+    def test_round_trips_through_json(self, report):
+        payload = json.loads(json.dumps(report_as_dict(report)))
+        assert payload["topologies"]["chain"]["emitted"] > 0
+        assert payload["duration_s"] == 30.0
+
+    def test_headline_numbers_match_report(self, report):
+        payload = report_as_dict(report)
+        topo = payload["topologies"]["chain"]
+        assert topo["sunk"] == report.sunk("chain")
+        assert topo["avg_tuples_per_window"] == (
+            report.average_throughput_per_window("chain")
+        )
+        assert set(topo["nodes_used"]) == set(report.nodes_used["chain"])
+
+    def test_node_section(self, report):
+        payload = report_as_dict(report)
+        for node_id in report.nodes_used["chain"]:
+            assert node_id in payload["nodes"]
+            assert 0.0 <= payload["nodes"][node_id]["cpu_utilisation"] <= 1.0
+
+    def test_write_json_file(self, report, tmp_path):
+        path = tmp_path / "report.json"
+        write_report_json(report, str(path))
+        assert json.loads(path.read_text())["topologies"]

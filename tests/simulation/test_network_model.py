@@ -1,0 +1,120 @@
+"""Tests for the transfer model (NIC/uplink serialisation + latency)."""
+
+import pytest
+
+from repro.cluster import emulab_testbed
+from repro.cluster.network import DistanceLevel
+from repro.simulation.network import TransferModel
+
+
+@pytest.fixture
+def model():
+    return TransferModel(emulab_testbed())
+
+
+ONE_MS_BYTES = 12500  # 12500 B * 8 = 0.1 Mb -> 1 ms at 100 Mbps
+
+
+class TestLocalTransfers:
+    def test_intra_process_pays_no_latency(self, model):
+        arrival = model.transfer(
+            1.0, "node-0-0", "node-0-0", DistanceLevel.INTRA_PROCESS, 10**6
+        )
+        assert arrival == 1.0
+
+    def test_inter_process_pays_latency_only(self, model):
+        arrival = model.transfer(
+            1.0, "node-0-0", "node-0-0", DistanceLevel.INTER_PROCESS, 10**6
+        )
+        assert arrival == pytest.approx(1.0 + 0.05e-3)
+
+    def test_local_transfers_do_not_occupy_nic(self, model):
+        model.transfer(
+            1.0, "node-0-0", "node-0-0", DistanceLevel.INTER_PROCESS, 10**6
+        )
+        assert model.nic_tx_free_at("node-0-0") == 0.0
+
+
+class TestRemoteTransfers:
+    def test_inter_node_serialisation_plus_latency(self, model):
+        # store-and-forward: 1 ms on the sender NIC, 1 ms on the receiver
+        # NIC, plus the 0.5 ms in-rack latency
+        arrival = model.transfer(
+            0.0, "node-0-0", "node-0-1", DistanceLevel.INTER_NODE, ONE_MS_BYTES
+        )
+        assert arrival == pytest.approx(0.001 + 0.001 + 0.5e-3)
+
+    def test_sender_nic_serialises_transfers(self, model):
+        first = model.transfer(
+            0.0, "node-0-0", "node-0-1", DistanceLevel.INTER_NODE, ONE_MS_BYTES
+        )
+        second = model.transfer(
+            0.0, "node-0-0", "node-0-2", DistanceLevel.INTER_NODE, ONE_MS_BYTES
+        )
+        assert second > first  # queued behind the first on the sender NIC
+
+    def test_receiver_nic_serialises_transfers(self, model):
+        first = model.transfer(
+            0.0, "node-0-1", "node-0-0", DistanceLevel.INTER_NODE, ONE_MS_BYTES
+        )
+        second = model.transfer(
+            0.0, "node-0-2", "node-0-0", DistanceLevel.INTER_NODE, ONE_MS_BYTES
+        )
+        assert second > first
+
+    def test_disjoint_pairs_do_not_contend(self, model):
+        a = model.transfer(
+            0.0, "node-0-0", "node-0-1", DistanceLevel.INTER_NODE, ONE_MS_BYTES
+        )
+        b = model.transfer(
+            0.0, "node-0-2", "node-0-3", DistanceLevel.INTER_NODE, ONE_MS_BYTES
+        )
+        assert a == b
+
+
+class TestInterRack:
+    def test_inter_rack_pays_higher_latency(self, model):
+        local = model.transfer(
+            0.0, "node-0-0", "node-0-1", DistanceLevel.INTER_NODE, 1
+        )
+        model2 = TransferModel(emulab_testbed())
+        remote = model2.transfer(
+            0.0, "node-0-0", "node-1-0", DistanceLevel.INTER_RACK, 1
+        )
+        assert remote > local
+
+    def test_uplink_shared_across_rack_pairs(self):
+        cluster = emulab_testbed()
+        model = TransferModel(cluster, interrack_uplink_mbps=100.0)
+        a = model.transfer(
+            0.0, "node-0-0", "node-1-0", DistanceLevel.INTER_RACK, ONE_MS_BYTES
+        )
+        # a different node pair, same rack pair: contends on the uplink
+        b = model.transfer(
+            0.0, "node-0-1", "node-1-1", DistanceLevel.INTER_RACK, ONE_MS_BYTES
+        )
+        assert b > a
+
+    def test_fat_uplink_does_not_bottleneck(self):
+        cluster = emulab_testbed()
+        thin = TransferModel(cluster, interrack_uplink_mbps=10.0)
+        cluster2 = emulab_testbed()
+        fat = TransferModel(cluster2, interrack_uplink_mbps=10000.0)
+        t_thin = thin.transfer(
+            0.0, "node-0-0", "node-1-0", DistanceLevel.INTER_RACK, ONE_MS_BYTES
+        )
+        t_fat = fat.transfer(
+            0.0, "node-0-0", "node-1-0", DistanceLevel.INTER_RACK, ONE_MS_BYTES
+        )
+        assert t_fat < t_thin
+
+    def test_default_uplink_is_10x_nic(self):
+        model = TransferModel(emulab_testbed())
+        assert model.interrack_uplink_mbps == 1000.0
+
+    def test_uplink_free_at_tracked(self, model):
+        model.transfer(
+            0.0, "node-0-0", "node-1-0", DistanceLevel.INTER_RACK, ONE_MS_BYTES
+        )
+        assert model.uplink_free_at("rack-0", "rack-1") > 0.0
+        assert model.uplink_free_at("rack-0", "rack-9") == 0.0

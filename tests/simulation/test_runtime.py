@@ -1,0 +1,260 @@
+"""Tests for the simulated Storm runtime."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster import ResourceVector, emulab_testbed, single_rack_cluster
+from repro.errors import SchedulingError
+from repro.scheduler.default import DefaultScheduler
+from repro.scheduler.rstorm import RStormScheduler
+from repro.simulation.config import SimulationConfig
+from repro.simulation.runtime import SimulationRun
+from repro.topology.builder import TopologyBuilder
+from repro.topology.component import ExecutionProfile
+from tests.conftest import make_linear
+
+
+def schedule_and_run(topology, cluster=None, config=None, scheduler=None):
+    cluster = cluster or emulab_testbed()
+    scheduler = scheduler or RStormScheduler()
+    assignment = scheduler.schedule([topology], cluster)[topology.topology_id]
+    run = SimulationRun(
+        cluster, [(topology, assignment)], config or SimulationConfig(duration_s=20.0, warmup_s=5.0)
+    )
+    return run, run.run()
+
+
+class TestBasicExecution:
+    def test_tuples_flow_to_sinks(self):
+        topology = make_linear(parallelism=2, stages=3)
+        _, report = schedule_and_run(topology)
+        assert report.sunk("chain") > 0
+
+    def test_conservation_sunk_never_exceeds_emitted(self):
+        topology = make_linear(parallelism=2, stages=3)
+        _, report = schedule_and_run(topology)
+        # 1:1 output ratios and a single sink: sink count <= emitted
+        assert report.sunk("chain") <= report.emitted("chain")
+
+    def test_spout_pending_bounds_inflight(self):
+        topology = make_linear(parallelism=1, stages=2)
+        config = SimulationConfig(
+            duration_s=20.0, warmup_s=5.0, max_spout_pending=1
+        )
+        run, report = schedule_and_run(topology, config=config)
+        # with credit 1 per spout, unacked work is at most 1 batch deep
+        assert report.emitted("chain") - report.sunk("chain") <= (
+            topology.component("stage-0").profile.emit_batch_tuples
+        ) * 2
+
+    def test_output_ratio_multiplies_stream(self):
+        builder = TopologyBuilder("fanout")
+        prof = ExecutionProfile(cpu_ms_per_tuple=0.01, output_ratio=3.0)
+        builder.set_spout("s", 1, profile=prof)
+        builder.set_bolt("triple", 1, profile=prof).shuffle_grouping("s")
+        builder.set_bolt("sink", 1, profile=prof).shuffle_grouping("triple")
+        topology = builder.build()
+        _, report = schedule_and_run(topology)
+        sunk = report.sunk("fanout")
+        processed_by_triple = report.stats.processed_total("fanout", "triple")
+        assert sunk >= 2.5 * processed_by_triple
+
+    def test_copies_to_every_subscriber(self):
+        builder = TopologyBuilder("copies")
+        prof = ExecutionProfile(cpu_ms_per_tuple=0.01)
+        builder.set_spout("s", 1, profile=prof)
+        builder.set_bolt("a", 1, profile=prof).shuffle_grouping("s")
+        builder.set_bolt("b", 1, profile=prof).shuffle_grouping("s")
+        topology = builder.build()
+        _, report = schedule_and_run(topology)
+        a = report.stats.processed_total("copies", "a")
+        b = report.stats.processed_total("copies", "b")
+        assert a > 0 and abs(a - b) <= prof.emit_batch_tuples
+
+    def test_rate_capped_spout_emits_at_cap(self):
+        builder = TopologyBuilder("capped")
+        prof = ExecutionProfile(
+            cpu_ms_per_tuple=0.001, max_rate_tps=500.0, emit_batch_tuples=50
+        )
+        builder.set_spout("s", 1, profile=prof)
+        builder.set_bolt("sink", 1).shuffle_grouping("s")
+        topology = builder.build()
+        _, report = schedule_and_run(topology)
+        emitted_rate = report.emitted("capped") / 20.0
+        assert emitted_rate == pytest.approx(500.0, rel=0.1)
+
+    def test_spout_only_topology_counts_emissions_as_sink(self):
+        builder = TopologyBuilder("solo")
+        builder.set_spout("s", 1)
+        topology = builder.build()
+        _, report = schedule_and_run(topology)
+        assert report.sunk("solo") == report.emitted("solo") > 0
+
+    def test_incomplete_assignment_rejected(self):
+        topology = make_linear()
+        cluster = emulab_testbed()
+        from repro.scheduler.assignment import Assignment
+
+        partial = Assignment("chain", {})
+        with pytest.raises(SchedulingError):
+            SimulationRun(cluster, [(topology, partial)])
+
+
+class TestCpuContention:
+    def test_colocated_tasks_share_a_core(self):
+        """Two CPU-heavy schedules: packed on 1 node vs spread on 2."""
+        from repro.scheduler.assignment import Assignment
+
+        def run_with(nodes):
+            builder = TopologyBuilder("hot")
+            prof = ExecutionProfile(cpu_ms_per_tuple=1.0, emit_batch_tuples=50)
+            builder.set_spout("s", 1, profile=prof)
+            builder.set_bolt("b", 1, profile=prof).shuffle_grouping("s")
+            topology = builder.build()
+            cluster = single_rack_cluster(
+                2,
+                capacity=ResourceVector.of(
+                    memory_mb=2048, cpu=100, bandwidth_mbps=1000
+                ),
+            )
+            tasks = topology.tasks
+            mapping = {
+                tasks[0]: cluster.nodes[nodes[0]].slots[0],
+                tasks[1]: cluster.nodes[nodes[1]].slots[0],
+            }
+            run = SimulationRun(
+                cluster,
+                [(topology, Assignment("hot", mapping))],
+                SimulationConfig(duration_s=20.0, warmup_s=5.0),
+            )
+            return run.run().sunk("hot")
+
+        packed = run_with([0, 0])
+        spread = run_with([0, 1])
+        assert spread > packed * 1.5  # two cores beat one shared core
+
+    def test_memory_overcommit_thrashes(self):
+        from repro.scheduler.assignment import Assignment
+
+        def run_with_memory(memory_mb):
+            builder = TopologyBuilder("fat")
+            prof = ExecutionProfile(cpu_ms_per_tuple=0.1)
+            spout = builder.set_spout("s", 1, profile=prof)
+            spout.set_memory_load(memory_mb)
+            bolt = builder.set_bolt("b", 1, profile=prof)
+            bolt.shuffle_grouping("s")
+            bolt.set_memory_load(memory_mb)
+            topology = builder.build()
+            cluster = single_rack_cluster(
+                1,
+                capacity=ResourceVector.of(
+                    memory_mb=2048, cpu=100, bandwidth_mbps=100
+                ),
+            )
+            slot = cluster.nodes[0].slots[0]
+            assignment = Assignment(
+                "fat", {task: slot for task in topology.tasks}
+            )
+            run = SimulationRun(
+                cluster,
+                [(topology, assignment)],
+                SimulationConfig(
+                    duration_s=20.0, warmup_s=5.0, thrash_factor=25.0
+                ),
+            )
+            return run.run().sunk("fat")
+
+        thrashed = run_with_memory(1500.0)  # 3000 MB resident > 2048
+        healthy = run_with_memory(500.0)  # fits comfortably
+        assert healthy > 5 * thrashed
+
+
+class TestFailureInjection:
+    def test_node_failure_stops_its_tasks(self):
+        topology = make_linear(parallelism=2, stages=2)
+        cluster = emulab_testbed()
+        assignment = RStormScheduler().schedule([topology], cluster)["chain"]
+        run = SimulationRun(
+            cluster,
+            [(topology, assignment)],
+            SimulationConfig(duration_s=60.0, warmup_s=5.0),
+        )
+        victim = assignment.nodes[0]
+        run.fail_node_at(10.0, victim)
+        report = run.run()
+        # failures surface as timed-out batches
+        assert report.failed("chain") > 0
+
+    def test_migration_restores_throughput(self):
+        topology = make_linear(parallelism=2, stages=2)
+        cluster = emulab_testbed()
+        scheduler = RStormScheduler()
+        assignment = scheduler.schedule([topology], cluster)["chain"]
+        run = SimulationRun(
+            cluster,
+            [(topology, assignment)],
+            SimulationConfig(duration_s=90.0, warmup_s=5.0),
+        )
+        victim = assignment.nodes[0]
+        run.fail_node_at(20.0, victim)
+
+        def reschedule():
+            surviving = assignment.restricted_to_nodes(
+                n.node_id for n in cluster.alive_nodes
+            )
+            cluster.node(victim).release_all()
+            new = scheduler.schedule([topology], cluster, {"chain": surviving})[
+                "chain"
+            ]
+            run.migrate("chain", new)
+
+        run.on_time(25.0, reschedule)
+        report = run.run()
+        series = dict(report.throughput_series("chain"))
+        assert series[70.0] > 0
+        assert series[70.0] > series[20.0] * 0.5
+
+    def test_worker_crash_on_queue_overflow(self):
+        """An overloaded bolt with no flow control crashes its worker."""
+        builder = TopologyBuilder("overrun")
+        fast = ExecutionProfile(
+            cpu_ms_per_tuple=0.01, emit_batch_tuples=100, max_rate_tps=20000.0
+        )
+        slow = ExecutionProfile(cpu_ms_per_tuple=5.0)
+        builder.set_spout("s", 2, profile=fast)
+        builder.set_bolt("slow", 1, profile=slow).shuffle_grouping("s")
+        topology = builder.build()
+        cluster = emulab_testbed()
+        assignment = DefaultScheduler().schedule([topology], cluster)["overrun"]
+        config = SimulationConfig(
+            duration_s=60.0,
+            warmup_s=5.0,
+            max_spout_pending=None,
+            queue_overflow_batches=50,
+        )
+        run = SimulationRun(cluster, [(topology, assignment)], config)
+        report = run.run()
+        assert report.crashes("overrun") > 0
+
+
+class TestDeterminism:
+    @settings(max_examples=5, deadline=None)
+    @given(st.integers(min_value=1, max_value=3))
+    def test_identical_runs_identical_results(self, parallelism):
+        def once():
+            topology = make_linear(parallelism=parallelism, stages=3)
+            cluster = emulab_testbed()
+            assignment = RStormScheduler().schedule([topology], cluster)["chain"]
+            run = SimulationRun(
+                cluster,
+                [(topology, assignment)],
+                SimulationConfig(duration_s=15.0, warmup_s=5.0),
+            )
+            report = run.run()
+            return (
+                report.emitted("chain"),
+                report.sunk("chain"),
+                tuple(report.throughput_series("chain")),
+            )
+
+        assert once() == once()

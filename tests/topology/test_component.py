@@ -1,0 +1,105 @@
+"""Tests for components and execution profiles."""
+
+import pytest
+
+from repro.cluster.resources import ResourceVector
+from repro.errors import TopologyValidationError
+from repro.topology.component import (
+    DEFAULT_CPU_LOAD,
+    DEFAULT_MEMORY_LOAD_MB,
+    Bolt,
+    ExecutionProfile,
+    Spout,
+)
+from repro.topology.grouping import FieldsGrouping, ShuffleGrouping
+
+
+class TestExecutionProfile:
+    def test_defaults_are_valid(self):
+        profile = ExecutionProfile()
+        assert profile.output_ratio == 1.0
+        assert profile.max_rate_tps is None
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"cpu_ms_per_tuple": -1.0},
+            {"output_ratio": -0.1},
+            {"tuple_bytes": 0},
+            {"emit_batch_tuples": 0},
+            {"max_rate_tps": 0.0},
+            {"max_rate_tps": -5.0},
+        ],
+    )
+    def test_invalid_values_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            ExecutionProfile(**kwargs)
+
+
+class TestComponentBasics:
+    def test_kinds(self):
+        assert Spout("s").is_spout and not Spout("s").is_bolt
+        assert Bolt("b").is_bolt and not Bolt("b").is_spout
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(TopologyValidationError):
+            Spout("")
+
+    def test_nonpositive_parallelism_rejected(self):
+        with pytest.raises(TopologyValidationError):
+            Spout("s", parallelism=0)
+
+    def test_storm_default_loads(self):
+        spout = Spout("s")
+        assert spout.memory_load_mb == DEFAULT_MEMORY_LOAD_MB
+        assert spout.cpu_load == DEFAULT_CPU_LOAD
+
+
+class TestResourceDeclaration:
+    def test_paper_usage_example(self):
+        # SpoutDeclarer s1 = builder.setSpout("word", ..., 10);
+        # s1.setMemoryLoad(1024.0); s1.setCPULoad(50.0);
+        spout = Spout("word", parallelism=10)
+        spout.set_memory_load(1024.0).set_cpu_load(50.0)
+        assert spout.resource_demand() == ResourceVector.of(
+            memory_mb=1024.0, cpu=50.0
+        )
+
+    def test_bandwidth_load(self):
+        spout = Spout("s")
+        spout.set_bandwidth_load(25.0)
+        assert spout.resource_demand().bandwidth_mbps == 25.0
+
+    @pytest.mark.parametrize(
+        "setter", ["set_memory_load", "set_cpu_load", "set_bandwidth_load"]
+    )
+    def test_negative_loads_rejected(self, setter):
+        with pytest.raises(ValueError):
+            getattr(Spout("s"), setter)(-1.0)
+
+    def test_setters_chain(self):
+        spout = Spout("s")
+        assert spout.set_memory_load(1.0).set_cpu_load(2.0) is spout
+
+
+class TestSubscriptions:
+    def test_subscribe_with_default_grouping(self):
+        bolt = Bolt("b")
+        bolt.subscribe("source")
+        assert isinstance(bolt.subscriptions[0].grouping, ShuffleGrouping)
+
+    def test_subscribe_with_explicit_grouping(self):
+        bolt = Bolt("b")
+        bolt.subscribe("source", FieldsGrouping(("k",)))
+        assert bolt.subscriptions[0].grouping == FieldsGrouping(("k",))
+
+    def test_duplicate_subscription_rejected(self):
+        bolt = Bolt("b")
+        bolt.subscribe("source")
+        with pytest.raises(TopologyValidationError):
+            bolt.subscribe("source")
+
+    def test_profile_attachment(self):
+        profile = ExecutionProfile(cpu_ms_per_tuple=9.0)
+        bolt = Bolt("b").set_profile(profile)
+        assert bolt.profile.cpu_ms_per_tuple == 9.0

@@ -1,0 +1,117 @@
+"""Tests for stream groupings."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.topology.grouping import (
+    AllGrouping,
+    FieldsGrouping,
+    GlobalGrouping,
+    Grouping,
+    LocalOrShuffleGrouping,
+    ShuffleGrouping,
+)
+
+
+class TestShuffle:
+    def test_round_robin(self):
+        g = ShuffleGrouping()
+        assert [g.route(3)[0] for _ in range(6)] == [0, 1, 2, 0, 1, 2]
+
+    def test_single_target(self):
+        g = ShuffleGrouping()
+        assert g.route(1) == (0,)
+
+    def test_zero_targets_rejected(self):
+        with pytest.raises(ValueError):
+            ShuffleGrouping().route(0)
+
+    def test_fresh_resets_state(self):
+        g = ShuffleGrouping()
+        g.route(3)
+        fresh = g.fresh()
+        assert fresh.route(3) == (0,)
+
+    @given(st.integers(min_value=1, max_value=20), st.integers(min_value=1, max_value=200))
+    def test_uniform_distribution(self, num_tasks, rounds):
+        g = ShuffleGrouping()
+        counts = [0] * num_tasks
+        for _ in range(rounds * num_tasks):
+            counts[g.route(num_tasks)[0]] += 1
+        assert max(counts) - min(counts) == 0  # perfectly even
+
+
+class TestFields:
+    def test_same_key_same_task(self):
+        g = FieldsGrouping(("word",))
+        assert g.route(5, key=42) == g.route(5, key=42)
+
+    def test_different_fields_may_differ(self):
+        a = FieldsGrouping(("word",))
+        b = FieldsGrouping(("user",))
+        routes_a = [a.route(16, key=k)[0] for k in range(100)]
+        routes_b = [b.route(16, key=k)[0] for k in range(100)]
+        assert routes_a != routes_b
+
+    def test_none_key_defaults(self):
+        g = FieldsGrouping(("word",))
+        assert g.route(5) == g.route(5, key=0)
+
+    def test_zero_targets_rejected(self):
+        with pytest.raises(ValueError):
+            FieldsGrouping(("k",)).route(0, key=1)
+
+    @given(st.integers(min_value=1, max_value=50), st.integers())
+    def test_route_in_range(self, num_tasks, key):
+        (idx,) = FieldsGrouping(("k",)).route(num_tasks, key=key)
+        assert 0 <= idx < num_tasks
+
+    @given(st.integers(min_value=2, max_value=32))
+    def test_keys_spread_over_tasks(self, num_tasks):
+        g = FieldsGrouping(("k",))
+        targets = {g.route(num_tasks, key=k)[0] for k in range(200)}
+        assert len(targets) > 1
+
+
+class TestAll:
+    def test_every_task_receives(self):
+        assert AllGrouping().route(4) == (0, 1, 2, 3)
+
+    def test_zero_targets_rejected(self):
+        with pytest.raises(ValueError):
+            AllGrouping().route(0)
+
+
+class TestGlobal:
+    def test_lowest_task_only(self):
+        assert GlobalGrouping().route(7) == (0,)
+
+    def test_zero_targets_rejected(self):
+        with pytest.raises(ValueError):
+            GlobalGrouping().route(0)
+
+
+class TestLocalOrShuffle:
+    def test_prefers_local(self):
+        g = LocalOrShuffleGrouping()
+        routes = {g.route(6, local_indices=[2, 4])[0] for _ in range(10)}
+        assert routes == {2, 4}
+
+    def test_falls_back_to_all(self):
+        g = LocalOrShuffleGrouping()
+        routes = {g.route(3, local_indices=[])[0] for _ in range(9)}
+        assert routes == {0, 1, 2}
+
+    def test_zero_targets_rejected(self):
+        with pytest.raises(ValueError):
+            LocalOrShuffleGrouping().route(0)
+
+
+class TestEquality:
+    def test_same_type_equal(self):
+        assert ShuffleGrouping() == ShuffleGrouping()
+        assert AllGrouping() != ShuffleGrouping()
+
+    def test_base_route_not_implemented(self):
+        with pytest.raises(NotImplementedError):
+            Grouping().route(1)

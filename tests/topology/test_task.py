@@ -1,0 +1,33 @@
+"""Tests for the Task value object."""
+
+from repro.topology.task import Task, task_label
+
+
+class TestTask:
+    def test_ordering_by_fields(self):
+        a = Task("t", "bolt", 0, 1)
+        b = Task("t", "bolt", 1, 2)
+        assert a < b
+
+    def test_equality_and_hash(self):
+        a = Task("t", "bolt", 0, 1)
+        assert a == Task("t", "bolt", 0, 1)
+        assert len({a, Task("t", "bolt", 0, 1)}) == 1
+
+    def test_str(self):
+        assert str(Task("topo", "bolt", 2, 7)) == "topo/bolt[2]"
+
+    def test_task_label_is_stable_and_unique_per_topology(self):
+        a = Task("topo", "bolt", 0, 7)
+        b = Task("topo", "spout", 0, 8)
+        assert task_label(a) == "topo:7"
+        assert task_label(a) != task_label(b)
+
+    def test_frozen(self):
+        task = Task("t", "bolt", 0, 1)
+        try:
+            task.task_id = 99
+            raised = False
+        except AttributeError:
+            raised = True
+        assert raised

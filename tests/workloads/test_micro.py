@@ -1,0 +1,96 @@
+"""Tests for the micro-benchmark topology builders."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.workloads.micro import (
+    VARIANTS,
+    diamond_topology,
+    linear_topology,
+    micro_topology,
+    star_topology,
+)
+
+
+class TestLinear:
+    def test_network_variant_shape(self):
+        topology = linear_topology("network")
+        assert topology.topology_id == "linear-network"
+        assert len(topology.components) == 4
+        assert topology.num_tasks == 24
+
+    def test_compute_variant_declares_quarter_core_tasks(self):
+        topology = linear_topology("compute")
+        assert topology.component("spout").cpu_load == 25.0
+        # 24 tasks x 25 points = 600 points = 6 machines (paper 6.3.2)
+        total = sum(
+            topology.component(t.component).cpu_load for t in topology.tasks
+        )
+        assert total == 600.0
+
+    def test_compute_spouts_rate_capped(self):
+        topology = linear_topology("compute")
+        assert topology.component("spout").profile.max_rate_tps is not None
+
+    def test_network_spouts_unbounded(self):
+        topology = linear_topology("network")
+        assert topology.component("spout").profile.max_rate_tps is None
+
+
+class TestDiamond:
+    def test_shape(self):
+        topology = diamond_topology("network")
+        assert set(topology.downstream_of("spout")) == {"mid-0", "mid-1"}
+        assert topology.upstream_of("sink") == ("mid-0", "mid-1")
+
+    def test_sink_declares_branchwise_cpu_in_compute(self):
+        topology = diamond_topology("compute")
+        assert topology.component("sink").cpu_load == 2 * topology.component(
+            "mid-0"
+        ).cpu_load
+
+    def test_branch_count_configurable(self):
+        topology = diamond_topology("network", branches=4)
+        assert len([c for c in topology.components if c.startswith("mid")]) == 4
+
+    def test_zero_branches_rejected(self):
+        with pytest.raises(ConfigError):
+            diamond_topology(branches=0)
+
+
+class TestStar:
+    def test_network_variant_is_balanced(self):
+        topology = star_topology("network")
+        parallelisms = {
+            name: comp.parallelism for name, comp in topology.components.items()
+        }
+        assert len(set(parallelisms.values())) == 1
+
+    def test_arms_wire_through_center(self):
+        topology = star_topology("network")
+        assert set(topology.downstream_of("center")) == {"sink-0", "sink-1"}
+        assert set(topology.upstream_of("center")) == {"spout-0", "spout-1"}
+
+    def test_compute_spouts_declare_a_full_core(self):
+        topology = star_topology("compute")
+        assert topology.component("spout-0").cpu_load == 100.0
+
+    def test_zero_arms_rejected(self):
+        with pytest.raises(ConfigError):
+            star_topology(arms=0)
+
+
+class TestDispatch:
+    @pytest.mark.parametrize("kind", ["linear", "diamond", "star"])
+    @pytest.mark.parametrize("variant", VARIANTS)
+    def test_micro_topology_dispatch(self, kind, variant):
+        topology = micro_topology(kind, variant)
+        assert variant in topology.topology_id
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigError):
+            micro_topology("pentagon")
+
+    def test_unknown_variant_rejected(self):
+        with pytest.raises(ConfigError):
+            micro_topology("linear", "quantum")

@@ -1,0 +1,87 @@
+"""Tests for the Yahoo production topology builders."""
+
+import pytest
+
+from repro.cluster import emulab_testbed
+from repro.scheduler.rstorm import RStormScheduler
+from repro.workloads.yahoo import (
+    pageload_topology,
+    processing_topology,
+    yahoo_simulation_config,
+)
+
+
+class TestPageLoad:
+    def test_shape_matches_figure_11a(self):
+        topology = pageload_topology()
+        assert topology.downstream_of("ad-event-spout") == (
+            "event-deserializer",
+        )
+        assert topology.downstream_of("geo-enricher") == ("page-aggregator",)
+        assert [c.name for c in topology.sinks] == ["page-aggregator"]
+
+    def test_spouts_are_rate_capped(self):
+        topology = pageload_topology()
+        assert topology.component("ad-event-spout").profile.max_rate_tps is not None
+
+    def test_fits_the_papers_testbed_under_rstorm(self):
+        topology = pageload_topology()
+        assignment = RStormScheduler().schedule([topology], emulab_testbed())[
+            "pageload"
+        ]
+        assert assignment.is_complete(topology)
+
+
+class TestProcessing:
+    def test_shape_matches_figure_11b(self):
+        topology = processing_topology()
+        chain = [
+            "stream-spout",
+            "event-parser",
+            "event-validator",
+            "session-joiner",
+            "model-scorer",
+            "stream-writer",
+        ]
+        for upstream, downstream in zip(chain, chain[1:]):
+            assert topology.downstream_of(upstream) == (downstream,)
+
+    def test_session_joiner_is_memory_heavy(self):
+        topology = processing_topology()
+        joiner = topology.component("session-joiner").memory_load_mb
+        others = [
+            comp.memory_load_mb
+            for name, comp in topology.components.items()
+            if name != "session-joiner"
+        ]
+        assert joiner > max(others)
+
+    def test_fits_the_papers_testbed_under_rstorm(self):
+        topology = processing_topology()
+        assignment = RStormScheduler().schedule([topology], emulab_testbed())[
+            "processing"
+        ]
+        assert assignment.is_complete(topology)
+
+    def test_both_fit_the_24_node_cluster(self):
+        cluster = emulab_testbed(nodes_per_rack=12)
+        processing = processing_topology()
+        pageload = pageload_topology()
+        assignments = RStormScheduler().schedule(
+            [processing, pageload], cluster
+        )
+        assert assignments["processing"].is_complete(processing)
+        assert assignments["pageload"].is_complete(pageload)
+
+
+class TestYahooConfig:
+    def test_uses_storms_default_unbounded_pending(self):
+        config = yahoo_simulation_config()
+        assert config.max_spout_pending is None
+
+    def test_crash_model_enabled(self):
+        config = yahoo_simulation_config()
+        assert config.queue_overflow_batches is not None
+
+    def test_duration_forwarded(self):
+        assert yahoo_simulation_config(33.0).duration_s == 33.0
