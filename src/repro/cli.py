@@ -5,20 +5,32 @@ Usage::
     python -m repro list
     python -m repro fig8 [--duration 120]
     python -m repro all [--duration 120] [--series] [--save results/]
+    python -m repro all --jobs 4              # fan misses out over processes
+    python -m repro all --no-cache            # force fresh simulations
+    python -m repro fig9 --cache-dir /tmp/c   # alternate cache location
+
+Results are memoised on disk (default ``.repro-cache/``, overridable via
+``--cache-dir`` or the ``REPRO_CACHE_DIR`` environment variable): re-running
+a figure whose inputs and code have not changed re-reads the cached
+outcomes instead of simulating.  ``--jobs N`` runs cache misses in ``N``
+worker processes.
 """
 
 from __future__ import annotations
 
 import argparse
 import csv
+import os
 import pathlib
 import sys
 from typing import List, Optional
 
 from repro.experiments import REGISTRY
+from repro.experiments.cache import DEFAULT_CACHE_DIR, ResultCache
 from repro.experiments.harness import ExperimentResult
+from repro.experiments.parallel import ExperimentContext
 
-__all__ = ["main", "build_parser", "save_result"]
+__all__ = ["main", "build_parser", "build_context", "save_result"]
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -51,7 +63,42 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write the table (.txt) and each series (.csv) into DIR",
     )
+    parser.add_argument(
+        "--jobs",
+        "-j",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for uncached work units (default 1: inline)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the on-disk result cache (always simulate)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=None,
+        help=(
+            "result-cache directory (default $REPRO_CACHE_DIR or "
+            f"{DEFAULT_CACHE_DIR!r})"
+        ),
+    )
     return parser
+
+
+def build_context(args) -> ExperimentContext:
+    """The :class:`ExperimentContext` implied by parsed CLI flags."""
+    if args.jobs < 1:
+        raise SystemExit("--jobs must be >= 1")
+    cache = None
+    if not args.no_cache:
+        cache_dir = args.cache_dir or os.environ.get(
+            "REPRO_CACHE_DIR", DEFAULT_CACHE_DIR
+        )
+        cache = ResultCache(cache_dir)
+    return ExperimentContext(jobs=args.jobs, cache=cache)
 
 
 def save_result(result: ExperimentResult, directory: str) -> List[str]:
@@ -84,12 +131,12 @@ def save_result(result: ExperimentResult, directory: str) -> List[str]:
     return written
 
 
-def _run_one(name: str, args) -> None:
+def _run_one(name: str, args, context: ExperimentContext) -> None:
     runner = REGISTRY[name]
     if name == "overhead":
-        result = runner()
+        result = runner(context=context)
     else:
-        result = runner(duration_s=args.duration)
+        result = runner(duration_s=args.duration, context=context)
     print(result.format(include_series=args.series))
     if args.save:
         for path in save_result(result, args.save):
@@ -103,11 +150,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         for name in sorted(REGISTRY):
             print(name)
         return 0
+    context = build_context(args)
     if args.experiment == "all":
         for name in sorted(REGISTRY):
-            _run_one(name, args)
-        return 0
-    _run_one(args.experiment, args)
+            _run_one(name, args, context)
+    else:
+        _run_one(args.experiment, args, context)
+    if context.cache is not None:
+        print(
+            f"cache: {context.cache.hits} hit(s), "
+            f"{context.cache.misses} miss(es) in {context.cache.root}"
+        )
     return 0
 
 

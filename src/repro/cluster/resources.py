@@ -274,6 +274,12 @@ class ResourceVector:
     def as_dict(self) -> Dict[str, float]:
         return dict(zip(self._schema.names, self._values))
 
+    def __cache_token__(self):
+        """Stable token for the experiment cache
+        (:func:`repro.experiments.cache.stable_token`): the full schema
+        (dimensions are frozen dataclasses) plus the value tuple."""
+        return (self._schema.dimensions, self._values)
+
     # -- arithmetic ---------------------------------------------------------
 
     def _check_schema(self, other: "ResourceVector") -> None:

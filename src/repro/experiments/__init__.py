@@ -13,11 +13,21 @@ from repro.experiments import (
     scheduling_overhead,
     weight_sweep,
 )
+from repro.experiments.cache import ResultCache, cache_key, stable_token
 from repro.experiments.harness import (
     ExperimentResult,
     SingleRunOutcome,
     format_table,
     run_scheduled,
+)
+from repro.experiments.parallel import (
+    ExperimentContext,
+    FactorySpec,
+    ScheduleOutcome,
+    ScheduleUnit,
+    SimulationUnit,
+    run_units,
+    spec,
 )
 
 #: Registry used by the CLI and the benchmark suite.
@@ -34,9 +44,19 @@ REGISTRY: Dict[str, Callable[..., ExperimentResult]] = {
 }
 
 __all__ = [
+    "ExperimentContext",
     "ExperimentResult",
+    "FactorySpec",
     "REGISTRY",
+    "ResultCache",
+    "ScheduleOutcome",
+    "ScheduleUnit",
+    "SimulationUnit",
     "SingleRunOutcome",
+    "cache_key",
     "format_table",
     "run_scheduled",
+    "run_units",
+    "spec",
+    "stable_token",
 ]

@@ -19,13 +19,18 @@ knobs exist for:
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Optional
 
 from repro.cluster.builders import heterogeneous_cluster
 from repro.cluster.resources import ResourceVector
-from repro.experiments.harness import ExperimentResult, run_scheduled
+from repro.experiments.harness import ExperimentResult
+from repro.experiments.parallel import (
+    ExperimentContext,
+    FactorySpec,
+    SimulationUnit,
+    spec,
+)
 from repro.scheduler.aniello import AnielloOfflineScheduler
-from repro.scheduler.base import IScheduler
 from repro.scheduler.default import DefaultScheduler
 from repro.scheduler.ordering import TaskOrderingStrategy
 from repro.scheduler.rstorm import DistanceWeights, RStormScheduler
@@ -49,28 +54,33 @@ def make_ablation_cluster():
     )
 
 
-def _variants() -> Dict[str, IScheduler]:
+def _variants() -> Dict[str, FactorySpec]:
     return {
-        "r-storm (paper)": RStormScheduler(),
-        "ordering=dfs": RStormScheduler(ordering=TaskOrderingStrategy.DFS),
-        "ordering=topological": RStormScheduler(
-            ordering=TaskOrderingStrategy.TOPOLOGICAL
+        "r-storm (paper)": spec(RStormScheduler),
+        "ordering=dfs": spec(RStormScheduler, ordering=TaskOrderingStrategy.DFS),
+        "ordering=topological": spec(
+            RStormScheduler, ordering=TaskOrderingStrategy.TOPOLOGICAL
         ),
-        "no-network-term": RStormScheduler(use_network_distance=False),
-        "raw-gaps": RStormScheduler(normalise_gaps=False),
-        "allow-overcommit": RStormScheduler(prefer_no_overcommit=False),
-        "network-heavy-weights": RStormScheduler(
-            weights=DistanceWeights(memory=0.5, cpu=1.0, network=10.0)
+        "no-network-term": spec(RStormScheduler, use_network_distance=False),
+        "raw-gaps": spec(RStormScheduler, normalise_gaps=False),
+        "allow-overcommit": spec(RStormScheduler, prefer_no_overcommit=False),
+        "network-heavy-weights": spec(
+            RStormScheduler,
+            weights=DistanceWeights(memory=0.5, cpu=1.0, network=10.0),
         ),
-        "aniello-offline": AnielloOfflineScheduler(),
-        "default": DefaultScheduler(),
+        "aniello-offline": spec(AnielloOfflineScheduler),
+        "default": spec(DefaultScheduler),
     }
 
 
 VARIANTS = tuple(_variants().keys())
 
 
-def run(duration_s: float = 90.0) -> ExperimentResult:
+def run(
+    duration_s: float = 90.0,
+    context: Optional[ExperimentContext] = None,
+) -> ExperimentResult:
+    context = context or ExperimentContext()
     result = ExperimentResult(
         experiment_id="ablations",
         title=(
@@ -78,12 +88,21 @@ def run(duration_s: float = 90.0) -> ExperimentResult:
         ),
     )
     config = yahoo_simulation_config(duration_s)
+    variants = _variants()
+    units = [
+        SimulationUnit(
+            scheduler=scheduler_spec,
+            topologies=(spec(pageload_topology),),
+            cluster=spec(make_ablation_cluster),
+            config=config,
+            label=label,
+        )
+        for label, scheduler_spec in variants.items()
+    ]
+    outcomes = context.run(units)
     baseline_throughput = None
-    for label, scheduler in _variants().items():
-        topology = pageload_topology()
-        cluster = make_ablation_cluster()
-        outcome = run_scheduled(scheduler, [topology], cluster, config)
-        topo_id = topology.topology_id
+    for label, outcome in zip(variants, outcomes):
+        topo_id = "pageload"
         throughput = outcome.throughput(topo_id)
         if baseline_throughput is None:
             baseline_throughput = throughput

@@ -10,22 +10,28 @@ leaves its machines idle.
 
 from __future__ import annotations
 
-from repro.cluster.builders import emulab_testbed
-from repro.experiments.harness import ExperimentResult, run_scheduled
-from repro.scheduler.default import DefaultScheduler
-from repro.scheduler.rstorm import RStormScheduler
+from typing import Optional
+
+from repro.experiments.fig9_compute_bound import (
+    KINDS,
+    SCHEDULERS,
+    compute_bound_units,
+)
+from repro.experiments.harness import ExperimentResult
+from repro.experiments.parallel import ExperimentContext
 from repro.simulation.config import SimulationConfig
-from repro.workloads.micro import micro_topology
 
 __all__ = ["run", "PAPER_UTIL_IMPROVEMENT"]
 
 #: Paper-reported utilisation improvements.
 PAPER_UTIL_IMPROVEMENT = {"linear": 0.69, "diamond": 0.91, "star": 3.50}
 
-KINDS = ("linear", "diamond", "star")
 
-
-def run(duration_s: float = 120.0) -> ExperimentResult:
+def run(
+    duration_s: float = 120.0,
+    context: Optional[ExperimentContext] = None,
+) -> ExperimentResult:
+    context = context or ExperimentContext()
     result = ExperimentResult(
         experiment_id="fig10",
         title="Average CPU utilisation of machines used (compute-bound runs)",
@@ -33,15 +39,19 @@ def run(duration_s: float = 120.0) -> ExperimentResult:
     config = SimulationConfig(
         duration_s=duration_s, warmup_s=min(20.0, duration_s / 4)
     )
+    # The exact same work units as fig9 — with a shared cache this figure
+    # costs zero fresh simulations after fig9 has run.
+    units = compute_bound_units(config)
+    outcomes_by_label = dict(
+        zip([u.label for u in units], context.run(units))
+    )
     for kind in KINDS:
-        utils = {}
-        for scheduler in (RStormScheduler(), DefaultScheduler()):
-            topology = micro_topology(kind, "compute")
-            cluster = emulab_testbed()
-            outcome = run_scheduled(scheduler, [topology], cluster, config)
-            utils[scheduler.name] = outcome.report.topology_cpu_utilisation(
-                topology.topology_id
-            )
+        utils = {
+            name: outcomes_by_label[
+                f"fig9:{kind}/{name}"
+            ].report.topology_cpu_utilisation(f"{kind}-compute")
+            for name, _ in SCHEDULERS
+        }
         r_util, d_util = utils["r-storm"], utils["default"]
         improvement = r_util / d_util - 1.0 if d_util else float("inf")
         result.add_row(

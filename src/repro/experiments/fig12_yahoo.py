@@ -8,8 +8,11 @@ its round-robin stacked heavy components, throttling the pipeline.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.cluster.builders import emulab_testbed
-from repro.experiments.harness import ExperimentResult, run_scheduled
+from repro.experiments.harness import ExperimentResult
+from repro.experiments.parallel import ExperimentContext, SimulationUnit, spec
 from repro.scheduler.default import DefaultScheduler
 from repro.scheduler.rstorm import RStormScheduler
 from repro.workloads.yahoo import (
@@ -22,25 +25,45 @@ __all__ = ["run", "PAPER_IMPROVEMENT"]
 
 PAPER_IMPROVEMENT = {"pageload": 0.50, "processing": 0.47}
 
+SCHEDULERS = (("r-storm", RStormScheduler), ("default", DefaultScheduler))
 
-def run(duration_s: float = 120.0) -> ExperimentResult:
+TOPOLOGIES = (("pageload", pageload_topology), ("processing", processing_topology))
+
+
+def run(
+    duration_s: float = 120.0,
+    context: Optional[ExperimentContext] = None,
+) -> ExperimentResult:
+    context = context or ExperimentContext()
     result = ExperimentResult(
         experiment_id="fig12",
         title="Yahoo topologies, single tenancy (tuples per 10 s window)",
     )
     config = yahoo_simulation_config(duration_s)
-    for factory in (pageload_topology, processing_topology):
-        outcomes = {}
-        for scheduler in (RStormScheduler(), DefaultScheduler()):
-            topology = factory()
-            cluster = emulab_testbed()
-            outcome = run_scheduled(scheduler, [topology], cluster, config)
-            outcomes[scheduler.name] = outcome
+    units = [
+        SimulationUnit(
+            scheduler=spec(sched_factory),
+            topologies=(spec(topo_factory),),
+            cluster=spec(emulab_testbed),
+            config=config,
+            label=f"{topo_id}/{name}",
+        )
+        for topo_id, topo_factory in TOPOLOGIES
+        for name, sched_factory in SCHEDULERS
+    ]
+    outcomes_by_label = dict(
+        zip([u.label for u in units], context.run(units))
+    )
+    for topo_id, _ in TOPOLOGIES:
+        outcomes = {
+            name: outcomes_by_label[f"{topo_id}/{name}"]
+            for name, _ in SCHEDULERS
+        }
+        for name, outcome in outcomes.items():
             result.add_series(
-                f"{topology.topology_id}/{scheduler.name}",
-                outcome.report.throughput_series(topology.topology_id),
+                f"{topo_id}/{name}",
+                outcome.report.throughput_series(topo_id),
             )
-        topo_id = factory().topology_id
         rstorm, default = outcomes["r-storm"], outcomes["default"]
         r_thr, d_thr = rstorm.throughput(topo_id), default.throughput(topo_id)
         result.add_row(

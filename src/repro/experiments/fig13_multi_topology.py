@@ -16,10 +16,11 @@ killing Processing — are the reproduction target.
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Optional
 
 from repro.cluster.builders import emulab_testbed
-from repro.experiments.harness import ExperimentResult, run_scheduled
+from repro.experiments.harness import ExperimentResult
+from repro.experiments.parallel import ExperimentContext, SimulationUnit, spec
 from repro.scheduler.default import DefaultScheduler
 from repro.scheduler.quality import aggregate_node_load
 from repro.scheduler.rstorm import RStormScheduler
@@ -42,36 +43,45 @@ PAPER_TUPLES_PER_10S = {
 NODES_PER_RACK = 12  # 24-machine cluster, two racks
 
 
-def run(duration_s: float = 120.0) -> ExperimentResult:
+def run(
+    duration_s: float = 120.0,
+    context: Optional[ExperimentContext] = None,
+) -> ExperimentResult:
+    context = context or ExperimentContext()
     result = ExperimentResult(
         experiment_id="fig13",
         title="Multi-topology scheduling on 24 nodes (tuples per 10 s window)",
     )
     config = yahoo_simulation_config(duration_s)
-    for scheduler in (RStormScheduler(), DefaultScheduler()):
-        processing = processing_topology()
-        pageload = pageload_topology()
-        cluster = emulab_testbed(nodes_per_rack=NODES_PER_RACK)
-        outcome = run_scheduled(
-            scheduler, [processing, pageload], cluster, config
+    schedulers = (("r-storm", RStormScheduler), ("default", DefaultScheduler))
+    units = [
+        SimulationUnit(
+            scheduler=spec(factory),
+            # submission order matters: Processing first, as in the paper
+            topologies=(spec(processing_topology), spec(pageload_topology)),
+            cluster=spec(emulab_testbed, nodes_per_rack=NODES_PER_RACK),
+            config=config,
+            label=name,
         )
+        for name, factory in schedulers
+    ]
+    outcomes = context.run(units)
+    for (name, _), outcome in zip(schedulers, outcomes):
+        cluster = emulab_testbed(nodes_per_rack=NODES_PER_RACK)
         overcommitted = _overcommitted_nodes(outcome, cluster)
-        for topology in (pageload, processing):
-            topo_id = topology.topology_id
+        for topo_id in ("pageload", "processing"):
             thr = outcome.throughput(topo_id)
             result.add_row(
-                scheduler=scheduler.name,
+                scheduler=name,
                 topology=topo_id,
                 tuples_per_10s=round(thr),
-                paper_tuples_per_10s=PAPER_TUPLES_PER_10S[
-                    (scheduler.name, topo_id)
-                ],
+                paper_tuples_per_10s=PAPER_TUPLES_PER_10S[(name, topo_id)],
                 nodes_used=len(outcome.assignments[topo_id].nodes),
                 worker_crashes=outcome.report.crashes(topo_id),
                 memory_overcommitted_nodes=overcommitted,
             )
             result.add_series(
-                f"{topo_id}/{scheduler.name}",
+                f"{topo_id}/{name}",
                 outcome.report.throughput_series(topo_id),
             )
     result.note(

@@ -8,8 +8,11 @@ R-Storm winning by about +50% (Linear), +30% (Diamond) and +47% (Star).
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.cluster.builders import emulab_testbed
-from repro.experiments.harness import ExperimentResult, run_scheduled
+from repro.experiments.harness import ExperimentResult
+from repro.experiments.parallel import ExperimentContext, SimulationUnit, spec
 from repro.scheduler.default import DefaultScheduler
 from repro.scheduler.rstorm import RStormScheduler
 from repro.simulation.config import SimulationConfig
@@ -22,9 +25,15 @@ PAPER_IMPROVEMENT = {"linear": 0.50, "diamond": 0.30, "star": 0.47}
 
 KINDS = ("linear", "diamond", "star")
 
+SCHEDULERS = (("r-storm", RStormScheduler), ("default", DefaultScheduler))
 
-def run(duration_s: float = 120.0) -> ExperimentResult:
+
+def run(
+    duration_s: float = 120.0,
+    context: Optional[ExperimentContext] = None,
+) -> ExperimentResult:
     """Run the Figure 8 comparison and return its table/series."""
+    context = context or ExperimentContext()
     result = ExperimentResult(
         experiment_id="fig8",
         title="Network-bound micro-benchmarks (tuples per 10 s window)",
@@ -32,24 +41,31 @@ def run(duration_s: float = 120.0) -> ExperimentResult:
     config = SimulationConfig(
         duration_s=duration_s, warmup_s=min(20.0, duration_s / 4)
     )
+    units = [
+        SimulationUnit(
+            scheduler=spec(factory),
+            topologies=(spec(micro_topology, kind, "network"),),
+            cluster=spec(emulab_testbed),
+            config=config,
+            interrack_uplink_mbps=NETWORK_BOUND_UPLINK_MBPS,
+            label=f"{kind}/{name}",
+        )
+        for kind in KINDS
+        for name, factory in SCHEDULERS
+    ]
+    outcomes_by_label = dict(
+        zip([u.label for u in units], context.run(units))
+    )
     for kind in KINDS:
-        outcomes = {}
-        for scheduler in (RStormScheduler(), DefaultScheduler()):
-            topology = micro_topology(kind, "network")
-            cluster = emulab_testbed()
-            outcome = run_scheduled(
-                scheduler,
-                [topology],
-                cluster,
-                config,
-                interrack_uplink_mbps=NETWORK_BOUND_UPLINK_MBPS,
-            )
-            outcomes[scheduler.name] = outcome
-            result.add_series(
-                f"{kind}/{scheduler.name}",
-                outcome.report.throughput_series(topology.topology_id),
-            )
         topo_id = f"{kind}-network"
+        outcomes = {
+            name: outcomes_by_label[f"{kind}/{name}"]
+            for name, _ in SCHEDULERS
+        }
+        for name, outcome in outcomes.items():
+            result.add_series(
+                f"{kind}/{name}", outcome.report.throughput_series(topo_id)
+            )
         rstorm = outcomes["r-storm"]
         default = outcomes["default"]
         r_thr = rstorm.throughput(topo_id)

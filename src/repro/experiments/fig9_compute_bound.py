@@ -10,22 +10,50 @@ machines where its round-robin stacked heavy tasks.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.cluster.builders import emulab_testbed
-from repro.experiments.harness import ExperimentResult, run_scheduled
+from repro.experiments.harness import ExperimentResult
+from repro.experiments.parallel import ExperimentContext, SimulationUnit, spec
 from repro.scheduler.default import DefaultScheduler
 from repro.scheduler.rstorm import RStormScheduler
 from repro.simulation.config import SimulationConfig
 from repro.workloads.micro import micro_topology
 
-__all__ = ["run", "PAPER_MACHINES"]
+__all__ = ["run", "compute_bound_units", "PAPER_MACHINES"]
 
 #: Machines the paper reports R-Storm needing (vs 12 for default).
 PAPER_MACHINES = {"linear": 6, "diamond": 7, "star": 6}
 
 KINDS = ("linear", "diamond", "star")
 
+SCHEDULERS = (("r-storm", RStormScheduler), ("default", DefaultScheduler))
 
-def run(duration_s: float = 120.0) -> ExperimentResult:
+
+def compute_bound_units(config: SimulationConfig):
+    """The (kind, scheduler) grid as work units.
+
+    Shared with fig10, which simulates the exact same runs — with a
+    cache, the second figure reuses every outcome of the first.
+    """
+    return [
+        SimulationUnit(
+            scheduler=spec(factory),
+            topologies=(spec(micro_topology, kind, "compute"),),
+            cluster=spec(emulab_testbed),
+            config=config,
+            label=f"fig9:{kind}/{name}",
+        )
+        for kind in KINDS
+        for name, factory in SCHEDULERS
+    ]
+
+
+def run(
+    duration_s: float = 120.0,
+    context: Optional[ExperimentContext] = None,
+) -> ExperimentResult:
+    context = context or ExperimentContext()
     result = ExperimentResult(
         experiment_id="fig9",
         title="Computation-bound micro-benchmarks (tuples per 10 s window)",
@@ -33,18 +61,20 @@ def run(duration_s: float = 120.0) -> ExperimentResult:
     config = SimulationConfig(
         duration_s=duration_s, warmup_s=min(20.0, duration_s / 4)
     )
+    units = compute_bound_units(config)
+    outcomes_by_label = dict(
+        zip([u.label for u in units], context.run(units))
+    )
     for kind in KINDS:
-        outcomes = {}
-        for scheduler in (RStormScheduler(), DefaultScheduler()):
-            topology = micro_topology(kind, "compute")
-            cluster = emulab_testbed()
-            outcome = run_scheduled(scheduler, [topology], cluster, config)
-            outcomes[scheduler.name] = outcome
-            result.add_series(
-                f"{kind}/{scheduler.name}",
-                outcome.report.throughput_series(topology.topology_id),
-            )
+        outcomes = {
+            name: outcomes_by_label[f"fig9:{kind}/{name}"]
+            for name, _ in SCHEDULERS
+        }
         topo_id = f"{kind}-compute"
+        for name, outcome in outcomes.items():
+            result.add_series(
+                f"{kind}/{name}", outcome.report.throughput_series(topo_id)
+            )
         rstorm, default = outcomes["r-storm"], outcomes["default"]
         r_thr, d_thr = rstorm.throughput(topo_id), default.throughput(topo_id)
         result.add_row(

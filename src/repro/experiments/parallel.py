@@ -1,0 +1,278 @@
+"""Parallel, cached execution of experiment work units.
+
+The figure experiments decompose into independent *work units* — one
+(scheduler, topology set, cluster, config, trial) combination each.
+Units are declarative and picklable: they carry :class:`FactorySpec`
+recipes (module-level callable + arguments) rather than live clusters or
+topologies, so they can cross process boundaries and hash into stable
+cache keys (:mod:`repro.experiments.cache`).
+
+Two unit kinds cover the whole suite:
+
+* :class:`SimulationUnit` — schedule then run the discrete-event
+  simulator; returns a
+  :class:`~repro.experiments.harness.SingleRunOutcome` (figs 8–13,
+  ablations, weight sweep).
+* :class:`ScheduleUnit` — schedule only, evaluate placement quality and
+  the analytical flow-model prediction; returns a
+  :class:`ScheduleOutcome` (scalability, scheduling overhead — the DES
+  would take minutes per point at those scales).
+
+:func:`run_units` executes a batch: cache hits return instantly, misses
+fan out over a :class:`concurrent.futures.ProcessPoolExecutor` when
+``jobs > 1`` (or run inline otherwise), and fresh results are written
+back to the cache.  Each unit's execution deterministically seeds the
+global :mod:`random` state from its cache key, so any stochastic
+component behaves identically in-process, in a worker and on replay —
+the contract the determinism regression tests pin down.
+
+:class:`ExperimentContext` bundles the ``jobs``/cache policy and is what
+the CLI threads into every experiment's ``run(..., context=...)``.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.flow import FlowModel
+from repro.experiments.cache import ResultCache, cache_key
+from repro.experiments.harness import SingleRunOutcome, run_scheduled
+from repro.scheduler.assignment import Assignment
+from repro.scheduler.quality import ScheduleQuality, evaluate_assignment
+from repro.simulation.config import SimulationConfig
+
+__all__ = [
+    "FactorySpec",
+    "spec",
+    "SimulationUnit",
+    "ScheduleUnit",
+    "ScheduleOutcome",
+    "run_units",
+    "ExperimentContext",
+]
+
+
+@dataclass(frozen=True)
+class FactorySpec:
+    """A picklable recipe for building one object.
+
+    ``fn`` must be an importable module-level callable (class or
+    function); ``args``/``kwargs`` must be stable-tokenisable (see
+    :func:`repro.experiments.cache.stable_token`).  Keeping recipes
+    instead of instances is what lets units cross process boundaries and
+    hash deterministically.
+    """
+
+    fn: Callable[..., Any]
+    args: Tuple[Any, ...] = ()
+    kwargs: Tuple[Tuple[str, Any], ...] = ()
+
+    def build(self) -> Any:
+        return self.fn(*self.args, **dict(self.kwargs))
+
+
+def spec(fn: Callable[..., Any], *args: Any, **kwargs: Any) -> FactorySpec:
+    """Convenience constructor: ``spec(micro_topology, "linear", "compute")``."""
+    return FactorySpec(fn, args, tuple(sorted(kwargs.items())))
+
+
+def _seed_for(unit: Any) -> int:
+    """Deterministic per-unit RNG seed derived from the cache key.
+
+    Uses ``cache_token()`` (not the dataclass itself) so presentational
+    fields like ``label`` cannot perturb the seed.
+    """
+    return int(cache_key(unit.cache_token())[:16], 16)
+
+
+@dataclass(frozen=True)
+class SimulationUnit:
+    """One (scheduler, topology set, cluster, config, trial) DES run.
+
+    ``trial`` distinguishes repeats of otherwise-identical work (each
+    gets its own cache entry and RNG seed); ``label`` is presentational
+    only and deliberately excluded from the cache key, so identical work
+    shared between experiments (fig9 and fig10 simulate the exact same
+    runs) hits the same entry.
+    """
+
+    scheduler: FactorySpec
+    topologies: Tuple[FactorySpec, ...]
+    cluster: FactorySpec
+    config: SimulationConfig
+    interrack_uplink_mbps: Optional[float] = None
+    trial: int = 0
+    label: str = field(default="", compare=False)
+
+    def cache_token(self) -> Any:
+        return (
+            "sim",
+            self.scheduler,
+            self.topologies,
+            self.cluster,
+            self.config,
+            self.interrack_uplink_mbps,
+            self.trial,
+        )
+
+    def execute(self) -> SingleRunOutcome:
+        random.seed(_seed_for(self))
+        return run_scheduled(
+            self.scheduler.build(),
+            [t.build() for t in self.topologies],
+            self.cluster.build(),
+            self.config,
+            interrack_uplink_mbps=self.interrack_uplink_mbps,
+        )
+
+
+@dataclass(frozen=True)
+class ScheduleOutcome:
+    """Everything measured for one schedule-only unit."""
+
+    scheduler: str
+    assignments: Dict[str, Assignment]
+    qualities: Dict[str, ScheduleQuality]
+    scheduling_latency_s: float
+    #: flow-model steady-state prediction, tuples/s per topology
+    predicted_tps: Dict[str, float]
+
+
+@dataclass(frozen=True)
+class ScheduleUnit:
+    """Schedule + evaluate + flow-model predict, without the DES.
+
+    Used where simulation is unnecessary or unaffordable: the
+    scheduling-overhead benchmark (latency only) and the scalability
+    sweep (analytical throughput on clusters the DES would chew minutes
+    on).  Cached latency figures are wall-clock measurements from the
+    run that produced the entry.
+    """
+
+    scheduler: FactorySpec
+    topologies: Tuple[FactorySpec, ...]
+    cluster: FactorySpec
+    config: Optional[SimulationConfig] = None
+    interrack_uplink_mbps: Optional[float] = None
+    trial: int = 0
+    label: str = field(default="", compare=False)
+
+    def cache_token(self) -> Any:
+        return (
+            "schedule",
+            self.scheduler,
+            self.topologies,
+            self.cluster,
+            self.config,
+            self.interrack_uplink_mbps,
+            self.trial,
+        )
+
+    def execute(self) -> ScheduleOutcome:
+        random.seed(_seed_for(self))
+        scheduler = self.scheduler.build()
+        topologies = [t.build() for t in self.topologies]
+        cluster = self.cluster.build()
+        round_info = scheduler.run(topologies, cluster)
+        assignments = round_info.assignments
+        placements = [
+            (t, assignments[t.topology_id]) for t in topologies
+        ]
+        qualities = {}
+        for topology in topologies:
+            others = {
+                t.topology_id: (t, assignments[t.topology_id])
+                for t in topologies
+                if t.topology_id != topology.topology_id
+            }
+            qualities[topology.topology_id] = evaluate_assignment(
+                topology, assignments[topology.topology_id], cluster, others
+            )
+        flow = FlowModel(
+            cluster,
+            self.config,
+            interrack_uplink_mbps=self.interrack_uplink_mbps,
+        ).solve(placements)
+        return ScheduleOutcome(
+            scheduler=scheduler.name,
+            assignments=assignments,
+            qualities=qualities,
+            scheduling_latency_s=round_info.duration_s,
+            predicted_tps=dict(flow.topology_throughput_tps),
+        )
+
+
+def _execute_unit(unit: Any) -> Any:
+    """Module-level worker entry point (must be picklable by reference)."""
+    return unit.execute()
+
+
+def run_units(
+    units: Sequence[Any],
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+) -> List[Any]:
+    """Execute ``units``, in input order, with caching and fan-out.
+
+    Args:
+        units: Work units exposing ``execute()`` and ``cache_token()``.
+        jobs: Worker processes for cache misses.  ``1`` runs inline
+            (no subprocesses at all); ``N > 1`` uses a process pool.
+        cache: Optional :class:`ResultCache`; hits skip execution
+            entirely and fresh results are stored back.
+
+    Returns:
+        One outcome per unit, aligned with the input order.
+    """
+    if jobs < 1:
+        raise ValueError("jobs must be >= 1")
+    results: List[Any] = [None] * len(units)
+    pending: List[int] = []
+    keys: Dict[int, str] = {}
+    for i, unit in enumerate(units):
+        if cache is not None:
+            key = cache_key(unit.cache_token())
+            keys[i] = key
+            hit = cache.get(key)
+            if hit is not None:
+                results[i] = hit
+                continue
+        pending.append(i)
+    if pending:
+        if jobs > 1 and len(pending) > 1:
+            with concurrent.futures.ProcessPoolExecutor(
+                max_workers=min(jobs, len(pending))
+            ) as pool:
+                outcomes = list(
+                    pool.map(
+                        _execute_unit,
+                        [units[i] for i in pending],
+                        chunksize=1,
+                    )
+                )
+        else:
+            outcomes = [units[i].execute() for i in pending]
+        for i, outcome in zip(pending, outcomes):
+            results[i] = outcome
+            if cache is not None:
+                cache.put(keys[i], outcome)
+    return results
+
+
+@dataclass
+class ExperimentContext:
+    """Execution policy threaded through every experiment's ``run``.
+
+    The default — sequential, uncached — reproduces the historical
+    behaviour exactly, so library callers and tests that never mention a
+    context are unaffected.
+    """
+
+    jobs: int = 1
+    cache: Optional[ResultCache] = None
+
+    def run(self, units: Sequence[Any]) -> List[Any]:
+        return run_units(units, jobs=self.jobs, cache=self.cache)

@@ -14,15 +14,13 @@ scale it measures:
 
 from __future__ import annotations
 
-import time
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
-from repro.analysis.flow import FlowModel
 from repro.cluster.builders import uniform_cluster
 from repro.cluster.resources import ResourceVector
 from repro.experiments.harness import ExperimentResult
+from repro.experiments.parallel import ExperimentContext, ScheduleUnit, spec
 from repro.scheduler.default import DefaultScheduler
-from repro.scheduler.quality import evaluate_assignment
 from repro.scheduler.rstorm import RStormScheduler
 from repro.workloads.generator import TopologySpec, random_topology
 
@@ -45,18 +43,41 @@ _SPEC = TopologySpec(
     cpu_choices=(10.0, 20.0, 35.0),
 )
 
+SCHEDULERS = (("r-storm", RStormScheduler), ("default", DefaultScheduler))
 
-def run(duration_s: float = 0.0) -> ExperimentResult:
+
+def run(
+    duration_s: float = 0.0,
+    context: Optional[ExperimentContext] = None,
+) -> ExperimentResult:
     """``duration_s`` is accepted for CLI uniformity and ignored — the
     throughput column comes from the analytical model."""
+    context = context or ExperimentContext()
     result = ExperimentResult(
         experiment_id="scalability",
         title="Scheduler scalability on growing clusters (flow-model throughput)",
     )
-    for racks, nodes_per_rack, seeds in SCALES:
-        capacity = ResourceVector.of(
-            memory_mb=8192.0, cpu=400.0, bandwidth_mbps=1000.0
+    capacity = ResourceVector.of(
+        memory_mb=8192.0, cpu=400.0, bandwidth_mbps=1000.0
+    )
+    units = [
+        ScheduleUnit(
+            scheduler=spec(factory),
+            topologies=(spec(random_topology, seed, _SPEC),),
+            cluster=spec(
+                uniform_cluster,
+                nodes_per_rack=nodes_per_rack,
+                racks=racks,
+                capacity=capacity,
+            ),
+            label=f"{racks}x{nodes_per_rack}/seed{seed}/{name}",
         )
+        for racks, nodes_per_rack, seeds in SCALES
+        for seed in range(seeds)
+        for name, factory in SCHEDULERS
+    ]
+    outcomes = iter(context.run(units))
+    for racks, nodes_per_rack, seeds in SCALES:
         num_nodes = racks * nodes_per_rack
         totals = {"r-storm": 0.0, "default": 0.0}
         latency = {"r-storm": 0.0, "default": 0.0}
@@ -65,23 +86,14 @@ def run(duration_s: float = 0.0) -> ExperimentResult:
         for seed in range(seeds):
             topology = random_topology(seed, _SPEC)
             tasks += topology.num_tasks
-            for scheduler in (RStormScheduler(), DefaultScheduler()):
-                cluster = uniform_cluster(
-                    nodes_per_rack=nodes_per_rack,
-                    racks=racks,
-                    capacity=capacity,
-                )
-                started = time.perf_counter()
-                assignment = scheduler.schedule([topology], cluster)[
-                    topology.topology_id
-                ]
-                latency[scheduler.name] += time.perf_counter() - started
-                flow = FlowModel(cluster).solve([(topology, assignment)])
-                totals[scheduler.name] += flow.topology_throughput_tps[
-                    topology.topology_id
-                ]
-                quality = evaluate_assignment(topology, assignment, cluster)
-                locality[scheduler.name] += quality.mean_network_distance
+            for name, _ in SCHEDULERS:
+                outcome = next(outcomes)
+                topo_id = topology.topology_id
+                latency[name] += outcome.scheduling_latency_s
+                totals[name] += outcome.predicted_tps[topo_id]
+                locality[name] += outcome.qualities[
+                    topo_id
+                ].mean_network_distance
         result.add_row(
             nodes=num_nodes,
             tasks=tasks,
@@ -94,7 +106,8 @@ def run(duration_s: float = 0.0) -> ExperimentResult:
         )
     result.note(
         "Throughput is the analytical flow-model prediction averaged over "
-        "random topologies; scheduling latency is wall clock.  The flow "
+        "random topologies; scheduling latency is wall clock (from the "
+        "run that produced the cache entry, when cached).  The flow "
         "model ignores latency and queueing, so R-Storm's locality "
         "advantage shows in the netdist column rather than predicted tps "
         "on these resource-rich clusters."

@@ -9,11 +9,12 @@ machines, showing where each term earns its keep.
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 from repro.cluster.builders import emulab_testbed
 from repro.experiments.ablations import make_ablation_cluster
-from repro.experiments.harness import ExperimentResult, run_scheduled
+from repro.experiments.harness import ExperimentResult
+from repro.experiments.parallel import ExperimentContext, SimulationUnit, spec
 from repro.scheduler.rstorm import DistanceWeights, RStormScheduler
 from repro.simulation.config import SimulationConfig
 from repro.workloads.micro import NETWORK_BOUND_UPLINK_MBPS, linear_topology
@@ -31,7 +32,11 @@ WEIGHTS: List[Tuple[str, DistanceWeights]] = [
 ]
 
 
-def run(duration_s: float = 90.0) -> ExperimentResult:
+def run(
+    duration_s: float = 90.0,
+    context: Optional[ExperimentContext] = None,
+) -> ExperimentResult:
+    context = context or ExperimentContext()
     result = ExperimentResult(
         experiment_id="weights",
         title="Distance-weight sweep (R-Storm soft-constraint weights)",
@@ -40,31 +45,35 @@ def run(duration_s: float = 90.0) -> ExperimentResult:
         duration_s=duration_s, warmup_s=min(20.0, duration_s / 4)
     )
     yahoo_config = yahoo_simulation_config(duration_s)
+    units = []
     for label, weights in WEIGHTS:
-        scheduler = RStormScheduler(weights=weights)
-
-        topology = linear_topology("network")
-        cluster = emulab_testbed()
-        micro = run_scheduled(
-            scheduler,
-            [topology],
-            cluster,
-            micro_config,
-            interrack_uplink_mbps=NETWORK_BOUND_UPLINK_MBPS,
+        units.append(
+            SimulationUnit(
+                scheduler=spec(RStormScheduler, weights=weights),
+                topologies=(spec(linear_topology, "network"),),
+                cluster=spec(emulab_testbed),
+                config=micro_config,
+                interrack_uplink_mbps=NETWORK_BOUND_UPLINK_MBPS,
+                label=f"micro/{label}",
+            )
         )
-        micro_quality = micro.qualities[topology.topology_id]
-
-        pageload = pageload_topology()
-        hetero = make_ablation_cluster()
-        prod = run_scheduled(
-            RStormScheduler(weights=weights), [pageload], hetero, yahoo_config
+        units.append(
+            SimulationUnit(
+                scheduler=spec(RStormScheduler, weights=weights),
+                topologies=(spec(pageload_topology),),
+                cluster=spec(make_ablation_cluster),
+                config=yahoo_config,
+                label=f"prod/{label}",
+            )
         )
-
+    outcomes = context.run(units)
+    for i, (label, _) in enumerate(WEIGHTS):
+        micro, prod = outcomes[2 * i], outcomes[2 * i + 1]
+        micro_topo_id = "linear-network"
+        micro_quality = micro.qualities[micro_topo_id]
         result.add_row(
             weights=label,
-            linear_net_tuples_per_10s=round(
-                micro.throughput(topology.topology_id)
-            ),
+            linear_net_tuples_per_10s=round(micro.throughput(micro_topo_id)),
             linear_mean_netdist=round(micro_quality.mean_network_distance, 2),
             pageload_hetero_tuples_per_10s=round(prod.throughput("pageload")),
             pageload_cpu_overcommit=round(

@@ -1,8 +1,12 @@
 """Exporting simulation results.
 
-Writers for the two artefacts people want out of a run: the per-window
+Writers for the artefacts people want out of a run: the per-window
 throughput series (the paper's figures are exactly these series) as CSV,
-and a JSON-able summary dictionary for dashboards or regression tracking.
+a JSON-able summary dictionary for dashboards or regression tracking,
+and lossless binary round-trips of whole run outcomes — the format the
+experiment result cache and the process-pool harness move results
+through (:mod:`repro.experiments.cache` /
+:mod:`repro.experiments.parallel`).
 """
 
 from __future__ import annotations
@@ -10,7 +14,8 @@ from __future__ import annotations
 import csv
 import io
 import json
-from typing import Dict, List, Optional, Sequence
+import pickle
+from typing import Any, Dict, List, Optional, Sequence
 
 from repro.simulation.report import SimulationReport
 
@@ -19,6 +24,11 @@ __all__ = [
     "write_throughput_series_csv",
     "report_as_dict",
     "write_report_json",
+    "outcome_as_dict",
+    "dumps_outcome",
+    "loads_outcome",
+    "dump_outcome",
+    "load_outcome",
 ]
 
 
@@ -95,3 +105,70 @@ def report_as_dict(report: SimulationReport) -> Dict:
 def write_report_json(report: SimulationReport, path: str) -> None:
     with open(path, "w") as handle:
         json.dump(report_as_dict(report), handle, indent=2, sort_keys=True)
+
+
+# -- whole-outcome round-trips ------------------------------------------------
+#
+# A SingleRunOutcome (report + assignments + qualities + latency) must
+# survive two journeys losslessly: process boundaries (ProcessPoolExecutor
+# workers return them) and disk (the content-addressed result cache).
+# Everything in an outcome is plain data — frozen dataclasses, dicts of
+# counters, immutable Assignment value objects — so pickle round-trips it
+# bit-for-bit; the determinism regression tests assert exactly that.
+
+
+def outcome_as_dict(outcome: Any) -> Dict:
+    """A JSON-serialisable snapshot of one run outcome.
+
+    Complements :func:`report_as_dict` with the scheduling-side results:
+    the task placements and the placement-quality metrics, keyed per
+    topology.  Intended for dashboards and diffing; use the pickle
+    round-trip helpers below when the object itself must come back.
+    """
+    out: Dict = {
+        "scheduler": outcome.scheduler,
+        "scheduling_latency_s": outcome.scheduling_latency_s,
+        "report": report_as_dict(outcome.report),
+        "assignments": {},
+        "qualities": {},
+    }
+    for topo_id, assignment in outcome.assignments.items():
+        out["assignments"][topo_id] = {
+            str(task): str(slot) for task, slot in assignment.as_dict().items()
+        }
+    for topo_id, quality in outcome.qualities.items():
+        out["qualities"][topo_id] = {
+            "nodes_used": quality.nodes_used,
+            "slots_used": quality.slots_used,
+            "task_pairs": quality.task_pairs,
+            "mean_network_distance": quality.mean_network_distance,
+            "hard_violations": quality.hard_violations,
+            "max_cpu_overcommit": quality.max_cpu_overcommit,
+            "pairs_by_level": {
+                level.name: count
+                for level, count in quality.pairs_by_level.items()
+            },
+        }
+    return out
+
+
+def dumps_outcome(outcome: Any) -> bytes:
+    """Serialise an outcome to bytes (stable pickle protocol)."""
+    # A pinned protocol keeps cache entries readable across the 3.10–3.12
+    # interpreters CI runs, instead of whatever HIGHEST_PROTOCOL means on
+    # the newest one.
+    return pickle.dumps(outcome, protocol=4)
+
+
+def loads_outcome(blob: bytes) -> Any:
+    return pickle.loads(blob)
+
+
+def dump_outcome(outcome: Any, path: str) -> None:
+    with open(path, "wb") as handle:
+        handle.write(dumps_outcome(outcome))
+
+
+def load_outcome(path: str) -> Any:
+    with open(path, "rb") as handle:
+        return loads_outcome(handle.read())

@@ -8,6 +8,12 @@ from repro.cluster import ResourceVector, emulab_testbed, single_rack_cluster
 from repro.topology import ExecutionProfile, TopologyBuilder
 
 
+@pytest.fixture(autouse=True)
+def _isolated_cache_dir(tmp_path, monkeypatch):
+    """Keep CLI-driven cache writes out of the working tree during tests."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "repro-cache"))
+
+
 @pytest.fixture
 def cluster():
     """The paper's 12-node two-rack testbed."""

@@ -38,12 +38,39 @@ def setup():
 
 class TestValidation:
     def test_timeout_must_exceed_interval(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ValueError, match="timeout_s must exceed"):
             HeartbeatFailureDetector([], heartbeat_interval_s=5.0, timeout_s=5.0)
 
+    def test_timeout_below_interval_rejected(self):
+        with pytest.raises(ValueError, match="timeout_s must exceed"):
+            HeartbeatFailureDetector(
+                [], heartbeat_interval_s=5.0, timeout_s=4.999
+            )
+
+    def test_timeout_just_above_interval_accepted(self):
+        detector = HeartbeatFailureDetector(
+            [], heartbeat_interval_s=5.0, timeout_s=5.001
+        )
+        assert detector.timeout_s == 5.001
+        assert detector.heartbeat_interval_s == 5.0
+
     def test_nonpositive_interval_rejected(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ValueError, match="heartbeat_interval_s"):
             HeartbeatFailureDetector([], heartbeat_interval_s=0.0, timeout_s=5.0)
+
+    def test_negative_interval_rejected(self):
+        with pytest.raises(ValueError, match="heartbeat_interval_s"):
+            HeartbeatFailureDetector(
+                [], heartbeat_interval_s=-1.0, timeout_s=5.0
+            )
+
+    def test_interval_validated_before_timeout_comparison(self):
+        # A negative interval must be rejected as such even when the
+        # timeout would also fail the exceeds-interval check.
+        with pytest.raises(ValueError, match="heartbeat_interval_s"):
+            HeartbeatFailureDetector(
+                [], heartbeat_interval_s=-2.0, timeout_s=-3.0
+            )
 
     def test_unknown_node_rejected(self, setup):
         _, _, supervisors, _, _ = setup

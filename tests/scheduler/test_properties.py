@@ -1,0 +1,155 @@
+"""Property-based scheduler invariants (hypothesis).
+
+Randomly generated topologies (via :func:`repro.workloads.generator.
+random_topology`, itself deterministic in its seed) are scheduled on
+clusters of varying size, and the invariants every placement must
+satisfy are checked:
+
+* every task is placed exactly once (assignments are complete and
+  duplicate-free);
+* R-Storm never violates a hard constraint: per-node summed *memory*
+  demand stays within physical capacity (CPU and bandwidth are soft by
+  design — R-Storm tracks but may over-commit them);
+* if R-Storm cannot place a topology without breaking a hard
+  constraint it raises :class:`~repro.errors.SchedulingError` rather
+  than producing a partial assignment;
+* :func:`~repro.scheduler.quality.evaluate_assignment` metrics are
+  non-negative and internally consistent.
+"""
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+from repro.cluster.builders import uniform_cluster
+from repro.cluster.resources import ResourceVector
+from repro.errors import SchedulingError
+from repro.scheduler.default import DefaultScheduler
+from repro.scheduler.quality import evaluate_assignment
+from repro.scheduler.rstorm import RStormScheduler
+from repro.workloads.generator import TopologySpec, random_topology
+
+_SPEC = TopologySpec(
+    min_layers=1,
+    max_layers=3,
+    min_width=1,
+    max_width=3,
+    max_parallelism=5,
+    memory_choices_mb=(64.0, 128.0, 256.0, 512.0),
+    cpu_choices=(10.0, 20.0, 40.0),
+)
+
+seeds = st.integers(min_value=0, max_value=10_000)
+cluster_shapes = st.tuples(
+    st.integers(min_value=1, max_value=3),  # racks
+    st.integers(min_value=2, max_value=6),  # nodes per rack
+)
+
+
+def _make_cluster(racks, nodes_per_rack, memory_mb=2048.0):
+    return uniform_cluster(
+        nodes_per_rack=nodes_per_rack,
+        racks=racks,
+        capacity=ResourceVector.of(
+            memory_mb=memory_mb, cpu=200.0, bandwidth_mbps=100.0
+        ),
+    )
+
+
+def _assert_each_task_placed_exactly_once(topology, assignment):
+    assert assignment.is_complete(topology)
+    assert len(assignment) == topology.num_tasks
+    placed = [t for slot in assignment.slots for t in assignment.tasks_on_slot(slot)]
+    assert len(placed) == len(set(placed)) == topology.num_tasks
+
+
+def _assert_quality_metrics_sane(quality):
+    assert quality.nodes_used >= 1
+    assert quality.slots_used >= quality.nodes_used >= 0
+    assert quality.task_pairs >= 0
+    assert quality.total_network_distance >= 0.0
+    assert quality.mean_network_distance >= 0.0
+    assert quality.hard_violations >= 0
+    assert quality.max_cpu_overcommit >= 0.0
+    assert all(count >= 0 for count in quality.pairs_by_level.values())
+    assert sum(quality.pairs_by_level.values()) == quality.task_pairs
+
+
+class TestRStormInvariants:
+    @settings(max_examples=30, deadline=None)
+    @given(seed=seeds, shape=cluster_shapes)
+    def test_memory_never_exceeds_capacity(self, seed, shape):
+        topology = random_topology(seed, _SPEC)
+        cluster = _make_cluster(*shape)
+        try:
+            assignment = RStormScheduler().schedule([topology], cluster)[
+                topology.topology_id
+            ]
+        except SchedulingError as err:
+            # Atomic failure is the documented fallback when the topology
+            # genuinely cannot fit; it must name what went unplaced.
+            assert err.unassigned
+            return
+        _assert_each_task_placed_exactly_once(topology, assignment)
+        for node_id in set(assignment.nodes):
+            demand = sum(
+                topology.task_demand(t).memory_mb
+                for t in assignment.tasks_on_node(node_id)
+            )
+            capacity = cluster.node(node_id).capacity.memory_mb
+            assert demand <= capacity + 1e-9, (
+                f"node {node_id} over-committed: {demand} > {capacity}"
+            )
+        quality = evaluate_assignment(topology, assignment, cluster)
+        assert quality.hard_violations == 0
+        _assert_quality_metrics_sane(quality)
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=seeds)
+    def test_infeasible_topology_raises_not_partial(self, seed):
+        topology = random_topology(seed, _SPEC)
+        # 32 MB nodes cannot host any task (the smallest demand is 64 MB).
+        cluster = _make_cluster(1, 4, memory_mb=32.0)
+        with pytest.raises(SchedulingError):
+            RStormScheduler().schedule([topology], cluster)
+
+
+class TestDefaultSchedulerInvariants:
+    @settings(max_examples=30, deadline=None)
+    @given(seed=seeds, shape=cluster_shapes)
+    def test_every_task_placed_exactly_once(self, seed, shape):
+        topology = random_topology(seed, _SPEC)
+        cluster = _make_cluster(*shape)
+        assignment = DefaultScheduler().schedule([topology], cluster)[
+            topology.topology_id
+        ]
+        _assert_each_task_placed_exactly_once(topology, assignment)
+        _assert_quality_metrics_sane(
+            evaluate_assignment(topology, assignment, cluster)
+        )
+
+
+class TestCrossSchedulerProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(seed=seeds)
+    def test_rstorm_locality_no_worse_than_default(self, seed):
+        """R-Storm's whole design goal: tighter placements than round-robin
+        on a multi-rack cluster (ties allowed)."""
+        topology = random_topology(seed, _SPEC)
+        cluster = _make_cluster(2, 6, memory_mb=8192.0)
+        try:
+            rstorm = RStormScheduler().schedule([topology], cluster)[
+                topology.topology_id
+            ]
+        except SchedulingError:
+            return
+        default = DefaultScheduler().schedule([topology], cluster)[
+            topology.topology_id
+        ]
+        r_quality = evaluate_assignment(topology, rstorm, cluster)
+        d_quality = evaluate_assignment(topology, default, cluster)
+        assert (
+            r_quality.total_network_distance
+            <= d_quality.total_network_distance + 1e-9
+        )
