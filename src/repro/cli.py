@@ -4,6 +4,7 @@ Usage::
 
     python -m repro list
     python -m repro fig8 [--duration 120]
+    python -m repro chaos [--duration 120]    # fault-injection recovery study
     python -m repro all [--duration 120] [--series] [--save results/]
     python -m repro all --jobs 4              # fan misses out over processes
     python -m repro all --no-cache            # force fresh simulations

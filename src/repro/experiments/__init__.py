@@ -4,6 +4,7 @@ from typing import Callable, Dict
 
 from repro.experiments import (
     ablations,
+    fault_recovery,
     fig8_network_bound,
     fig9_compute_bound,
     fig10_cpu_utilization,
@@ -21,6 +22,8 @@ from repro.experiments.harness import (
     run_scheduled,
 )
 from repro.experiments.parallel import (
+    ChaosOutcome,
+    ChaosUnit,
     ExperimentContext,
     FactorySpec,
     ScheduleOutcome,
@@ -41,9 +44,12 @@ REGISTRY: Dict[str, Callable[..., ExperimentResult]] = {
     "ablations": ablations.run,
     "weights": weight_sweep.run,
     "scalability": scalability.run,
+    "chaos": fault_recovery.run,
 }
 
 __all__ = [
+    "ChaosOutcome",
+    "ChaosUnit",
     "ExperimentContext",
     "ExperimentResult",
     "FactorySpec",

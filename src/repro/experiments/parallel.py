@@ -7,7 +7,7 @@ recipes (module-level callable + arguments) rather than live clusters or
 topologies, so they can cross process boundaries and hash into stable
 cache keys (:mod:`repro.experiments.cache`).
 
-Two unit kinds cover the whole suite:
+Three unit kinds cover the whole suite:
 
 * :class:`SimulationUnit` — schedule then run the discrete-event
   simulator; returns a
@@ -17,6 +17,11 @@ Two unit kinds cover the whole suite:
   the analytical flow-model prediction; returns a
   :class:`ScheduleOutcome` (scalability, scheduling overhead — the DES
   would take minutes per point at those scales).
+* :class:`ChaosUnit` — a full coordination-plane run (ZooKeeper,
+  supervisors, heartbeat failure detector, periodic Nimbus rescheduling)
+  with a deterministic fault schedule injected; returns a
+  :class:`ChaosOutcome` with per-topology recovery reports
+  (``repro chaos``, the failure-recovery comparison).
 
 :func:`run_units` executes a batch: cache hits return instantly, misses
 fan out over a :class:`concurrent.futures.ProcessPoolExecutor` when
@@ -38,11 +43,22 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.flow import FlowModel
+from repro.errors import ConfigError
 from repro.experiments.cache import ResultCache, cache_key
 from repro.experiments.harness import SingleRunOutcome, run_scheduled
+from repro.faults.chaos import ChaosGenerator
+from repro.faults.injector import FaultInjector
+from repro.faults.monitor import RecoveryMonitor, RecoveryReport
+from repro.faults.schedule import FaultSchedule
+from repro.nimbus.failure_detector import HeartbeatFailureDetector
+from repro.nimbus.nimbus import Nimbus
+from repro.nimbus.supervisor import Supervisor
+from repro.nimbus.zookeeper import InMemoryZooKeeper
 from repro.scheduler.assignment import Assignment
 from repro.scheduler.quality import ScheduleQuality, evaluate_assignment
 from repro.simulation.config import SimulationConfig
+from repro.simulation.report import SimulationReport
+from repro.simulation.runtime import SimulationRun
 
 __all__ = [
     "FactorySpec",
@@ -50,6 +66,8 @@ __all__ = [
     "SimulationUnit",
     "ScheduleUnit",
     "ScheduleOutcome",
+    "ChaosUnit",
+    "ChaosOutcome",
     "run_units",
     "ExperimentContext",
 ]
@@ -202,6 +220,149 @@ class ScheduleUnit:
             qualities=qualities,
             scheduling_latency_s=round_info.duration_s,
             predicted_tps=dict(flow.topology_throughput_tps),
+        )
+
+
+@dataclass(frozen=True)
+class ChaosOutcome:
+    """Everything measured for one fault-injected coordination-plane run."""
+
+    scheduler: str
+    report: SimulationReport
+    #: final (post-recovery) assignments, per topology
+    assignments: Dict[str, Assignment]
+    #: per-topology recovery metrics distilled from the causal trace
+    recovery: Dict[str, RecoveryReport]
+    #: ``(simulated time, description)`` of every fault actually injected
+    injected: Tuple[Tuple[float, str], ...]
+    #: ``(simulated time, error)`` of every infeasible scheduling round
+    scheduling_failures: Tuple[Tuple[float, str], ...]
+
+
+@dataclass(frozen=True)
+class ChaosUnit:
+    """One fault-injected run of the full coordination plane.
+
+    Unlike :class:`SimulationUnit`, which simulates a fixed placement,
+    a chaos unit stands up ZooKeeper, one supervisor per node, a
+    heartbeat failure detector and a periodically-rescheduling Nimbus,
+    then injects a :class:`~repro.faults.schedule.FaultSchedule` and
+    measures detection, rescheduling and throughput recovery.
+
+    ``faults`` is a :class:`FactorySpec` whose built object may be:
+
+    * a :class:`~repro.faults.schedule.FaultSchedule` — used as-is;
+    * a :class:`~repro.faults.chaos.ChaosGenerator` — sampled against
+      the built cluster;
+    * any callable ``(cluster, assignments) -> FaultSchedule`` —
+      placement-aware scenarios ("crash the busiest node") that can
+      only be resolved after the initial scheduling round.
+
+    All three are deterministic functions of the unit's fields, which is
+    what keeps chaos outcomes cacheable.
+    """
+
+    scheduler: FactorySpec
+    topologies: Tuple[FactorySpec, ...]
+    cluster: FactorySpec
+    config: SimulationConfig
+    faults: FactorySpec
+    heartbeat_interval_s: float = 3.0
+    heartbeat_timeout_s: float = 10.0
+    scheduling_interval_s: float = 10.0
+    interrack_uplink_mbps: Optional[float] = None
+    trial: int = 0
+    label: str = field(default="", compare=False)
+
+    def cache_token(self) -> Any:
+        return (
+            "chaos",
+            self.scheduler,
+            self.topologies,
+            self.cluster,
+            self.config,
+            self.faults,
+            self.heartbeat_interval_s,
+            self.heartbeat_timeout_s,
+            self.scheduling_interval_s,
+            self.interrack_uplink_mbps,
+            self.trial,
+        )
+
+    def _resolve_faults(self, cluster, assignments) -> FaultSchedule:
+        built = self.faults.build()
+        if isinstance(built, FaultSchedule):
+            return built
+        if isinstance(built, ChaosGenerator):
+            return built.generate(cluster)
+        if callable(built):
+            schedule = built(cluster, assignments)
+            if not isinstance(schedule, FaultSchedule):
+                raise ConfigError(
+                    "fault scenario callable must return a FaultSchedule, "
+                    f"got {type(schedule).__name__}"
+                )
+            return schedule
+        raise ConfigError(
+            "faults spec must build a FaultSchedule, a ChaosGenerator or "
+            f"a scenario callable, got {type(built).__name__}"
+        )
+
+    def execute(self) -> ChaosOutcome:
+        random.seed(_seed_for(self))
+        scheduler = self.scheduler.build()
+        topologies = [t.build() for t in self.topologies]
+        cluster = self.cluster.build()
+
+        zk = InMemoryZooKeeper()
+        nimbus = Nimbus(cluster, scheduler=scheduler, zk=zk)
+        supervisors = []
+        for node in cluster.nodes:
+            supervisor = Supervisor(node, zk)
+            nimbus.register_supervisor(supervisor)
+            supervisors.append(supervisor)
+        for topology in topologies:
+            nimbus.submit_topology(topology)
+        nimbus.schedule_round()
+
+        run = SimulationRun(
+            cluster,
+            [(t, nimbus.assignments[t.topology_id]) for t in topologies],
+            self.config,
+            interrack_uplink_mbps=self.interrack_uplink_mbps,
+        )
+        detector = HeartbeatFailureDetector(
+            supervisors,
+            heartbeat_interval_s=self.heartbeat_interval_s,
+            timeout_s=self.heartbeat_timeout_s,
+        )
+        monitor = RecoveryMonitor()
+        monitor.attach(run, detector=detector, nimbus=nimbus)
+        detector.attach(run)
+        nimbus.attach(run, interval_s=self.scheduling_interval_s)
+        schedule = self._resolve_faults(cluster, dict(nimbus.assignments))
+        injector = FaultInjector(
+            schedule, detector=detector, tracer=monitor.tracer
+        )
+        injector.attach(run)
+
+        report = run.run()
+        recovery = {
+            t.topology_id: monitor.report(t.topology_id, report)
+            for t in topologies
+        }
+        # the report references the stats server the tracer wrapped with
+        # closures; unwrap so the outcome stays picklable (cache, workers)
+        monitor.tracer.uninstall()
+        return ChaosOutcome(
+            scheduler=scheduler.name,
+            report=report,
+            assignments=dict(nimbus.assignments),
+            recovery=recovery,
+            injected=tuple(
+                (time, event.describe()) for time, event in injector.injected
+            ),
+            scheduling_failures=tuple(nimbus.scheduling_failures),
         )
 
 

@@ -1,0 +1,39 @@
+"""Deterministic, seeded fault injection for the simulator.
+
+The chaos/recovery workload layer: typed fault events
+(:mod:`~repro.faults.events`), time-ordered schedules
+(:mod:`~repro.faults.schedule`), seeded random generation
+(:mod:`~repro.faults.chaos`), DES wiring
+(:mod:`~repro.faults.injector`) and recovery measurement
+(:mod:`~repro.faults.monitor`).  See ``docs/faults.md``.
+"""
+
+from repro.faults.chaos import ChaosGenerator
+from repro.faults.events import (
+    EVENT_KINDS,
+    FaultEvent,
+    HeartbeatSilence,
+    LinkDegradation,
+    NodeCrash,
+    NodeSlowdown,
+    RackPartition,
+)
+from repro.faults.injector import FaultInjector
+from repro.faults.monitor import FaultRecovery, RecoveryMonitor, RecoveryReport
+from repro.faults.schedule import FaultSchedule
+
+__all__ = [
+    "ChaosGenerator",
+    "EVENT_KINDS",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultRecovery",
+    "FaultSchedule",
+    "HeartbeatSilence",
+    "LinkDegradation",
+    "NodeCrash",
+    "NodeSlowdown",
+    "RackPartition",
+    "RecoveryMonitor",
+    "RecoveryReport",
+]

@@ -1,0 +1,167 @@
+"""Seeded random fault-schedule generation.
+
+:class:`ChaosGenerator` samples a :class:`~repro.faults.schedule.FaultSchedule`
+from its own private ``random.Random(seed)`` — never the global RNG — so
+the same seed against the same cluster always yields the same schedule,
+across processes and interpreter versions.  That determinism is what lets
+chaos runs flow through the content-addressed experiment cache and what
+the byte-identical-report CI check pins down.
+
+The generator is deliberately conservative by default: it never kills
+more than ``max_dead_fraction`` of the cluster at once, so generated
+scenarios are survivable and property tests exercise *recovery*, not just
+collapse.  Crank the knobs for harsher campaigns.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.cluster.cluster import Cluster
+from repro.errors import ConfigError
+from repro.faults.events import (
+    FaultEvent,
+    HeartbeatSilence,
+    LinkDegradation,
+    NodeCrash,
+    NodeSlowdown,
+)
+from repro.faults.schedule import FaultSchedule
+
+__all__ = ["ChaosGenerator"]
+
+
+@dataclass(frozen=True)
+class ChaosGenerator:
+    """Samples seeded fault schedules for a cluster.
+
+    Attributes:
+        seed: RNG seed; same seed + same cluster => same schedule.
+        num_crashes: Node crashes to inject (capped so that no more than
+            ``max_dead_fraction`` of the cluster is ever dead at once).
+        num_slowdowns: CPU-degradation faults to inject.
+        num_link_faults: Inter-rack link degradations to inject (skipped
+            on single-rack clusters).
+        num_silences: Gray heartbeat-silence faults to inject.
+        start_s / end_s: Injection window; faults land uniformly inside
+            it, healing times may extend past ``end_s``.
+        rejoin_probability: Chance a crashed node rejoins later.
+        rejoin_delay_s: (min, max) delay between crash and rejoin.
+        slowdown_factor: (min, max) service-time multiplier.
+        slowdown_duration_s: (min, max) slowdown length.
+        link_factor: (min, max) bandwidth-division factor.
+        link_duration_s: (min, max) degradation length.
+        silence_duration_s: (min, max) heartbeat-silence length.
+        max_dead_fraction: Hard cap on simultaneously-crashed nodes.
+    """
+
+    seed: int = 0
+    num_crashes: int = 1
+    num_slowdowns: int = 0
+    num_link_faults: int = 0
+    num_silences: int = 0
+    start_s: float = 20.0
+    end_s: float = 90.0
+    rejoin_probability: float = 0.5
+    rejoin_delay_s: Tuple[float, float] = (15.0, 45.0)
+    slowdown_factor: Tuple[float, float] = (1.5, 4.0)
+    slowdown_duration_s: Tuple[float, float] = (10.0, 30.0)
+    link_factor: Tuple[float, float] = (2.0, 8.0)
+    link_duration_s: Tuple[float, float] = (10.0, 30.0)
+    silence_duration_s: Tuple[float, float] = (15.0, 40.0)
+    max_dead_fraction: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.end_s <= self.start_s:
+            raise ConfigError("end_s must exceed start_s")
+        if not 0.0 <= self.rejoin_probability <= 1.0:
+            raise ConfigError("rejoin_probability must be in [0, 1]")
+        if not 0.0 < self.max_dead_fraction <= 1.0:
+            raise ConfigError("max_dead_fraction must be in (0, 1]")
+        for name in (
+            "num_crashes", "num_slowdowns", "num_link_faults", "num_silences"
+        ):
+            if getattr(self, name) < 0:
+                raise ConfigError(f"{name} must be >= 0")
+
+    # -- sampling helpers ---------------------------------------------------
+
+    def _time(self, rng: random.Random) -> float:
+        return round(rng.uniform(self.start_s, self.end_s), 3)
+
+    @staticmethod
+    def _span(rng: random.Random, bounds: Tuple[float, float]) -> float:
+        lo, hi = bounds
+        return round(rng.uniform(lo, hi), 3)
+
+    # -- generation ---------------------------------------------------------
+
+    def generate(self, cluster: Cluster) -> FaultSchedule:
+        """Sample a schedule valid for ``cluster``."""
+        rng = random.Random(self.seed)
+        node_ids = sorted(node.node_id for node in cluster.nodes)
+        rack_ids = sorted(rack.rack_id for rack in cluster.racks)
+        if not node_ids:
+            raise ConfigError("cannot generate chaos for an empty cluster")
+        events: List[FaultEvent] = []
+
+        crash_budget = max(
+            0,
+            min(
+                self.num_crashes,
+                int(len(node_ids) * self.max_dead_fraction),
+            ),
+        )
+        victims = rng.sample(node_ids, min(crash_budget, len(node_ids)))
+        for node_id in victims:
+            at = self._time(rng)
+            rejoin_at: Optional[float] = None
+            if rng.random() < self.rejoin_probability:
+                rejoin_at = round(at + self._span(rng, self.rejoin_delay_s), 3)
+            events.append(NodeCrash(at=at, node_id=node_id, rejoin_at=rejoin_at))
+
+        for _ in range(self.num_slowdowns):
+            node_id = rng.choice(node_ids)
+            at = self._time(rng)
+            events.append(
+                NodeSlowdown(
+                    at=at,
+                    node_id=node_id,
+                    factor=self._span(rng, self.slowdown_factor),
+                    until=round(at + self._span(rng, self.slowdown_duration_s), 3),
+                )
+            )
+
+        if len(rack_ids) >= 2:
+            for _ in range(self.num_link_faults):
+                rack_a, rack_b = rng.sample(rack_ids, 2)
+                at = self._time(rng)
+                events.append(
+                    LinkDegradation(
+                        at=at,
+                        rack_a=min(rack_a, rack_b),
+                        rack_b=max(rack_a, rack_b),
+                        factor=self._span(rng, self.link_factor),
+                        until=round(at + self._span(rng, self.link_duration_s), 3),
+                    )
+                )
+
+        #: gray failures avoid already-crashed nodes so the two fault
+        #: classes stay distinguishable in the trace
+        quiet_pool = [n for n in node_ids if n not in set(victims)] or node_ids
+        for _ in range(self.num_silences):
+            node_id = rng.choice(quiet_pool)
+            at = self._time(rng)
+            events.append(
+                HeartbeatSilence(
+                    at=at,
+                    node_id=node_id,
+                    until=round(at + self._span(rng, self.silence_duration_s), 3),
+                )
+            )
+
+        schedule = FaultSchedule(tuple(events))
+        schedule.validate(cluster)
+        return schedule

@@ -1,0 +1,279 @@
+"""Recovery measurement on top of the event tracer.
+
+:class:`RecoveryMonitor` owns (or adopts) a
+:class:`~repro.simulation.tracing.Tracer`, wires itself into the failure
+detector (``expire`` events) and Nimbus (``reschedule`` events), and
+after the run distils the causal chain
+
+    ``inject`` -> ``expire`` -> ``reschedule`` -> ``migrate``
+
+into per-fault recovery metrics:
+
+* **detection latency** — fault injection to heartbeat-session expiry,
+* **reschedule latency** — injection to the first migration applied,
+* **throughput dip** — the worst post-fault window relative to the
+  pre-fault baseline,
+* **time to steady state** — injection until windowed throughput is back
+  above ``steady_fraction`` of baseline and stays there.
+
+Everything in a :class:`RecoveryReport` derives from simulated time and
+deterministic counters — no wall clock — so the same seed and fault
+schedule produce a byte-identical :meth:`RecoveryReport.to_json` across
+runs, which CI asserts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.simulation.report import SimulationReport
+from repro.simulation.tracing import Tracer
+
+__all__ = ["FaultRecovery", "RecoveryReport", "RecoveryMonitor"]
+
+
+def _round(value: Optional[float]) -> Optional[float]:
+    return None if value is None else round(value, 6)
+
+
+@dataclass(frozen=True)
+class FaultRecovery:
+    """Recovery metrics for one injected fault."""
+
+    fault: str
+    fault_time_s: float
+    detected_at_s: Optional[float]
+    detection_latency_s: Optional[float]
+    rescheduled_at_s: Optional[float]
+    reschedule_latency_s: Optional[float]
+    throughput_floor_ratio: Optional[float]
+    steady_state_at_s: Optional[float]
+    time_to_steady_state_s: Optional[float]
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "fault": self.fault,
+            "fault_time_s": _round(self.fault_time_s),
+            "detected_at_s": _round(self.detected_at_s),
+            "detection_latency_s": _round(self.detection_latency_s),
+            "rescheduled_at_s": _round(self.rescheduled_at_s),
+            "reschedule_latency_s": _round(self.reschedule_latency_s),
+            "throughput_floor_ratio": _round(self.throughput_floor_ratio),
+            "steady_state_at_s": _round(self.steady_state_at_s),
+            "time_to_steady_state_s": _round(self.time_to_steady_state_s),
+        }
+
+
+@dataclass(frozen=True)
+class RecoveryReport:
+    """All recovery metrics for one topology in one chaos run."""
+
+    topology_id: str
+    baseline_tuples_per_window: float
+    post_fault_tuples_per_window: float
+    total_failed_tuples: int
+    migrations: int
+    faults: Tuple[FaultRecovery, ...]
+
+    # -- aggregates ---------------------------------------------------------
+
+    def _mean(self, values: List[Optional[float]]) -> Optional[float]:
+        present = [v for v in values if v is not None]
+        if not present:
+            return None
+        return sum(present) / len(present)
+
+    @property
+    def mean_detection_latency_s(self) -> Optional[float]:
+        return self._mean([f.detection_latency_s for f in self.faults])
+
+    @property
+    def mean_reschedule_latency_s(self) -> Optional[float]:
+        return self._mean([f.reschedule_latency_s for f in self.faults])
+
+    @property
+    def mean_time_to_steady_state_s(self) -> Optional[float]:
+        return self._mean([f.time_to_steady_state_s for f in self.faults])
+
+    @property
+    def worst_throughput_floor_ratio(self) -> Optional[float]:
+        floors = [
+            f.throughput_floor_ratio
+            for f in self.faults
+            if f.throughput_floor_ratio is not None
+        ]
+        return min(floors) if floors else None
+
+    # -- serialisation ------------------------------------------------------
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "topology_id": self.topology_id,
+            "baseline_tuples_per_window": _round(
+                self.baseline_tuples_per_window
+            ),
+            "post_fault_tuples_per_window": _round(
+                self.post_fault_tuples_per_window
+            ),
+            "total_failed_tuples": self.total_failed_tuples,
+            "migrations": self.migrations,
+            "mean_detection_latency_s": _round(self.mean_detection_latency_s),
+            "mean_reschedule_latency_s": _round(self.mean_reschedule_latency_s),
+            "mean_time_to_steady_state_s": _round(
+                self.mean_time_to_steady_state_s
+            ),
+            "worst_throughput_floor_ratio": _round(
+                self.worst_throughput_floor_ratio
+            ),
+            "faults": [f.as_dict() for f in self.faults],
+        }
+
+    def to_json(self) -> str:
+        """Canonical JSON — the byte-identical determinism artefact."""
+        import json
+
+        return json.dumps(self.as_dict(), sort_keys=True, separators=(",", ":"))
+
+
+class RecoveryMonitor:
+    """Observes a chaos run and computes :class:`RecoveryReport`s.
+
+    Args:
+        tracer: Tracer to record through (a fresh one by default).
+        steady_fraction: Fraction of the pre-fault baseline throughput a
+            window must reach — and hold — to count as recovered.
+    """
+
+    def __init__(
+        self,
+        tracer: Optional[Tracer] = None,
+        steady_fraction: float = 0.9,
+    ):
+        if not 0.0 < steady_fraction <= 1.0:
+            raise ValueError("steady_fraction must be in (0, 1]")
+        self.tracer = tracer or Tracer()
+        self.steady_fraction = steady_fraction
+
+    # -- wiring -------------------------------------------------------------
+
+    def attach(self, run, detector=None, nimbus=None) -> None:
+        """Install the tracer on ``run`` and hook the coordination plane.
+
+        Call before ``run.run()``; the detector/nimbus hooks record
+        ``expire`` and ``reschedule`` events into the causal trace.
+        """
+        if not self.tracer.installed:
+            self.tracer.install(run)
+        tracer = self.tracer
+        if detector is not None:
+            detector.on_expire = lambda time, node_id: tracer.record(
+                time, "expire", "", node_id
+            )
+        if nimbus is not None:
+
+            def on_reschedule(time: float, changed: List[str]) -> None:
+                for topo_id in changed:
+                    tracer.record(time, "reschedule", topo_id, "new assignment")
+
+            nimbus.on_reschedule = on_reschedule
+
+    # -- analysis -----------------------------------------------------------
+
+    def report(
+        self, topology_id: str, sim_report: SimulationReport
+    ) -> RecoveryReport:
+        """Distil the trace + metrics into one topology's recovery report."""
+        window_s = sim_report.config.window_s
+        warmup_s = sim_report.config.warmup_s
+        duration_s = sim_report.duration_s
+        series = sim_report.throughput_series(topology_id)
+        full_windows = [
+            (start, value)
+            for start, value in series
+            if start + window_s <= duration_s + 1e-9
+        ]
+
+        injects = self.tracer.query(kind="inject")
+        expires = self.tracer.query(kind="expire")
+        migrates = self.tracer.query(kind="migrate", topology=topology_id)
+
+        first_fault = injects[0].time if injects else None
+        baseline_values = [
+            value
+            for start, value in full_windows
+            if start >= warmup_s
+            and (first_fault is None or start + window_s <= first_fault)
+        ]
+        baseline = (
+            sum(baseline_values) / len(baseline_values)
+            if baseline_values
+            else 0.0
+        )
+        threshold = self.steady_fraction * baseline
+
+        faults: List[FaultRecovery] = []
+        for inject in injects:
+            detected_at = next(
+                (e.time for e in expires if e.time >= inject.time), None
+            )
+            rescheduled_at = next(
+                (m.time for m in migrates if m.time >= inject.time), None
+            )
+            post = [
+                (start, value)
+                for start, value in full_windows
+                if start >= inject.time
+            ]
+            floor_ratio: Optional[float] = None
+            steady_at: Optional[float] = None
+            if baseline > 0 and post:
+                floor_ratio = min(value for _, value in post) / baseline
+                for i, (start, value) in enumerate(post):
+                    if value >= threshold and all(
+                        later >= threshold for _, later in post[i:]
+                    ):
+                        steady_at = start
+                        break
+            faults.append(
+                FaultRecovery(
+                    fault=inject.detail,
+                    fault_time_s=inject.time,
+                    detected_at_s=detected_at,
+                    detection_latency_s=(
+                        detected_at - inject.time
+                        if detected_at is not None
+                        else None
+                    ),
+                    rescheduled_at_s=rescheduled_at,
+                    reschedule_latency_s=(
+                        rescheduled_at - inject.time
+                        if rescheduled_at is not None
+                        else None
+                    ),
+                    throughput_floor_ratio=floor_ratio,
+                    steady_state_at_s=steady_at,
+                    time_to_steady_state_s=(
+                        max(0.0, steady_at - inject.time)
+                        if steady_at is not None
+                        else None
+                    ),
+                )
+            )
+
+        last_fault = injects[-1].time if injects else None
+        post_values = [
+            value
+            for start, value in full_windows
+            if start >= (last_fault if last_fault is not None else warmup_s)
+        ]
+        post_fault = sum(post_values) / len(post_values) if post_values else 0.0
+
+        return RecoveryReport(
+            topology_id=topology_id,
+            baseline_tuples_per_window=baseline,
+            post_fault_tuples_per_window=post_fault,
+            total_failed_tuples=sim_report.failed(topology_id),
+            migrations=len(migrates),
+            faults=tuple(faults),
+        )

@@ -1,0 +1,144 @@
+"""Fault schedules: ordered, validated collections of fault events.
+
+A :class:`FaultSchedule` is what the injector consumes: an immutable,
+time-sorted tuple of :class:`~repro.faults.events.FaultEvent`.  Being a
+frozen dataclass of frozen dataclasses, a schedule is picklable, hashable
+and stable-tokenisable — it can sit inside an experiment work unit and
+contribute to its content-addressed cache key
+(:mod:`repro.experiments.cache`), which is what makes chaos runs
+memoisable like every other experiment.
+
+Schedules are either scripted explicitly::
+
+    schedule = FaultSchedule.of(
+        NodeCrash(at=40.0, node_id="node-0-3"),
+        LinkDegradation(at=60.0, rack_a="rack-0", rack_b="rack-1",
+                        factor=5.0, until=90.0),
+    )
+
+or sampled from a seeded :class:`~repro.faults.chaos.ChaosGenerator`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Any, Dict, Iterable, Iterator, List, Sequence, Tuple
+
+from repro.cluster.cluster import Cluster
+from repro.errors import ConfigError
+from repro.faults.events import (
+    EVENT_KINDS,
+    FaultEvent,
+    HeartbeatSilence,
+    LinkDegradation,
+    NodeCrash,
+    NodeSlowdown,
+    RackPartition,
+)
+
+__all__ = ["FaultSchedule"]
+
+
+def _sort_key(event: FaultEvent) -> Tuple:
+    return (event.at, event.kind, repr(event))
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """An immutable, time-ordered sequence of fault events."""
+
+    events: Tuple[FaultEvent, ...] = ()
+
+    def __post_init__(self) -> None:
+        for event in self.events:
+            if not isinstance(event, FaultEvent):
+                raise ConfigError(
+                    f"fault schedules hold FaultEvent instances, got "
+                    f"{type(event).__name__}"
+                )
+        ordered = tuple(sorted(self.events, key=_sort_key))
+        object.__setattr__(self, "events", ordered)
+
+    @classmethod
+    def of(cls, *events: FaultEvent) -> "FaultSchedule":
+        return cls(tuple(events))
+
+    # -- collection protocol ------------------------------------------------
+
+    def __iter__(self) -> Iterator[FaultEvent]:
+        return iter(self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __bool__(self) -> bool:
+        return bool(self.events)
+
+    def merged_with(self, other: "FaultSchedule") -> "FaultSchedule":
+        return FaultSchedule(self.events + other.events)
+
+    # -- validation ---------------------------------------------------------
+
+    def validate(self, cluster: Cluster, horizon_s: float = float("inf")) -> None:
+        """Check every event targets something that exists.
+
+        Raises:
+            ConfigError: unknown node/rack, or an event past ``horizon_s``
+                (it would silently never fire).
+        """
+        rack_ids = {rack.rack_id for rack in cluster.racks}
+        for event in self.events:
+            if event.at > horizon_s:
+                raise ConfigError(
+                    f"{event.describe()} is scheduled after the run "
+                    f"horizon ({horizon_s:g}s) and would never fire"
+                )
+            if isinstance(event, (NodeCrash, NodeSlowdown, HeartbeatSilence)):
+                if not cluster.has_node(event.node_id):
+                    raise ConfigError(
+                        f"{event.describe()}: unknown node {event.node_id!r}"
+                    )
+            elif isinstance(event, RackPartition):
+                if event.rack_id not in rack_ids:
+                    raise ConfigError(
+                        f"{event.describe()}: unknown rack {event.rack_id!r}"
+                    )
+            elif isinstance(event, LinkDegradation):
+                for rack_id in (event.rack_a, event.rack_b):
+                    if rack_id not in rack_ids:
+                        raise ConfigError(
+                            f"{event.describe()}: unknown rack {rack_id!r}"
+                        )
+
+    # -- serialisation ------------------------------------------------------
+
+    def to_dicts(self) -> List[Dict[str, Any]]:
+        """Plain-data form, one dict per event (``kind`` + fields)."""
+        out: List[Dict[str, Any]] = []
+        for event in self.events:
+            record: Dict[str, Any] = {"kind": event.kind}
+            for f in fields(event):
+                record[f.name] = getattr(event, f.name)
+            out.append(record)
+        return out
+
+    @classmethod
+    def from_dicts(cls, records: Sequence[Dict[str, Any]]) -> "FaultSchedule":
+        """Inverse of :meth:`to_dicts` — the scripting entry point for
+        schedules loaded from JSON/YAML."""
+        kinds = dict(EVENT_KINDS)
+        events: List[FaultEvent] = []
+        for record in records:
+            data = dict(record)
+            kind = data.pop("kind", None)
+            event_cls = kinds.get(kind)
+            if event_cls is None:
+                raise ConfigError(
+                    f"unknown fault kind {kind!r}; pick from "
+                    f"{sorted(kinds)}"
+                )
+            try:
+                events.append(event_cls(**data))
+            except TypeError as err:
+                raise ConfigError(f"bad fields for {kind!r}: {err}") from None
+        return cls(tuple(events))

@@ -22,7 +22,7 @@ plus one scheduling period — the end-to-end failover latency the paper's
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional
+from typing import Callable, Dict, Iterable, List, Optional
 
 from repro.errors import MembershipError
 from repro.nimbus.supervisor import Supervisor
@@ -59,6 +59,9 @@ class HeartbeatFailureDetector:
         self._silenced: set = set()
         #: (time, node_id) of every expiry declared
         self.expirations: List[tuple] = []
+        #: optional observer called as ``on_expire(time, node_id)`` the
+        #: moment a session is declared expired (recovery monitoring).
+        self.on_expire: Optional[Callable[[float, str], None]] = None
 
     # -- control -------------------------------------------------------------
 
@@ -78,6 +81,28 @@ class HeartbeatFailureDetector:
         self._silenced.discard(node_id)
         supervisor.node.recover()
         if not supervisor.registered:
+            supervisor.start(now)
+
+    def mute(self, node_id: str) -> None:
+        """Heartbeats stop but the machine keeps running (a gray failure:
+        the node is partitioned from ZooKeeper, not dead).  After the
+        timeout the detector will still expire the session and declare the
+        node failed — Nimbus cannot tell the difference, which is the
+        point."""
+        if node_id not in self.supervisors:
+            raise MembershipError(f"unknown supervisor {node_id!r}")
+        self._silenced.add(node_id)
+
+    def unmute(self, node_id: str, now: float = 0.0) -> None:
+        """Heartbeats resume.  If the session already expired (the node
+        was wrongly declared dead), the supervisor re-registers and the
+        node recovers — the false-positive heals like a real failure."""
+        supervisor = self.supervisors.get(node_id)
+        if supervisor is None:
+            raise MembershipError(f"unknown supervisor {node_id!r}")
+        self._silenced.discard(node_id)
+        if not supervisor.registered:
+            supervisor.node.recover()
             supervisor.start(now)
 
     def is_silenced(self, node_id: str) -> bool:
@@ -106,6 +131,8 @@ class HeartbeatFailureDetector:
                     supervisor.stop()  # session expiry
                     supervisor.node.fail()
                     self.expirations.append((now, node_id))
+                    if self.on_expire is not None:
+                        self.on_expire(now, node_id)
             run.on_time(now + self.heartbeat_interval_s, check)
 
         run.on_time(self.heartbeat_interval_s, beat)

@@ -13,7 +13,7 @@ assignments, exactly as the paper describes.
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Optional
+from typing import Callable, Dict, List, Mapping, Optional, Tuple
 
 from repro.cluster.cluster import Cluster
 from repro.errors import MembershipError, SchedulingError
@@ -47,6 +47,14 @@ class Nimbus:
         self._submission_order: List[str] = []
         self.assignments: Dict[str, Assignment] = {}
         self.rounds: List[SchedulingRound] = []
+        #: (simulated time, error message) of every attached-loop round
+        #: that could not produce a feasible schedule — the degraded-mode
+        #: record chaos tests assert on instead of a silent hang.
+        self.scheduling_failures: List[Tuple[float, str]] = []
+        #: optional observer called as ``on_reschedule(time, changed_ids)``
+        #: when an attached round changes at least one assignment, before
+        #: the migrations are applied (recovery monitoring).
+        self.on_reschedule: Optional[Callable[[float, List[str]], None]] = None
 
     # -- topology lifecycle ---------------------------------------------------
 
@@ -154,27 +162,48 @@ class Nimbus:
 
     # -- simulation integration ---------------------------------------------------------
 
-    def attach(self, run, interval_s: Optional[float] = None) -> None:
+    def attach(
+        self,
+        run,
+        interval_s: Optional[float] = None,
+        max_backoff_s: Optional[float] = None,
+    ) -> None:
         """Drive periodic scheduling inside a simulation.
 
         Every ``interval_s`` (default from config: 10 s) of simulated
         time, Nimbus reconciles membership and reschedules; topologies
         whose assignment changed are migrated in the running simulation.
+
+        A round that cannot produce a feasible schedule (mid-outage, or
+        genuinely insufficient surviving capacity) is recorded in
+        :attr:`scheduling_failures` and retried with exponential backoff:
+        the interval doubles per consecutive failure up to
+        ``max_backoff_s`` (default ``8 * interval_s``), then resets on the
+        first success.  The topology keeps running degraded on whatever
+        placements survive — it never hangs and never over-places.
         """
         period = interval_s or self.config.scheduling_interval_s
+        backoff_cap = max_backoff_s if max_backoff_s is not None else 8 * period
+        state = {"delay": period}
 
         def tick() -> None:
             before = dict(self.assignments)
             try:
                 self.schedule_round()
-            except SchedulingError:
-                # Nothing feasible this round (e.g. mid-outage); retry on
-                # the next tick, as Nimbus does.
-                pass
+            except SchedulingError as err:
+                self.scheduling_failures.append((run.sim.now, str(err)))
+                state["delay"] = min(state["delay"] * 2, backoff_cap)
             else:
-                for topo_id, assignment in self.assignments.items():
-                    if before.get(topo_id) != assignment:
-                        run.migrate(topo_id, assignment)
-            run.on_time(run.sim.now + period, tick)
+                state["delay"] = period
+                changed = [
+                    topo_id
+                    for topo_id, assignment in self.assignments.items()
+                    if before.get(topo_id) != assignment
+                ]
+                if changed and self.on_reschedule is not None:
+                    self.on_reschedule(run.sim.now, changed)
+                for topo_id in changed:
+                    run.migrate(topo_id, self.assignments[topo_id])
+            run.on_time(run.sim.now + state["delay"], tick)
 
         run.on_time(period, tick)

@@ -48,6 +48,9 @@ class TransferModel:
         self._nic_tx_free: Dict[str, float] = {}
         self._nic_rx_free: Dict[str, float] = {}
         self._uplink_free: Dict[FrozenSet[str], float] = {}
+        #: rack-pair -> bandwidth multiplier from injected link faults
+        #: (1.0 = healthy, 0.1 = the trunk lost 90% of its capacity).
+        self._uplink_scale: Dict[FrozenSet[str], float] = {}
 
     # -- helpers -------------------------------------------------------------
 
@@ -56,6 +59,26 @@ class TransferModel:
         if bandwidth_mbps is None or bandwidth_mbps <= 0:
             return 0.0
         return (num_bytes * 8.0) / (bandwidth_mbps * 1e6)
+
+    # -- fault injection -----------------------------------------------------
+
+    def set_uplink_scale(self, rack_a: str, rack_b: str, scale: float) -> None:
+        """Scale the effective bandwidth of one rack pair's uplink.
+
+        ``scale`` multiplies the healthy uplink capacity: values below 1
+        model a degraded trunk, 1.0 restores it.  Only future transfers
+        are affected; bytes already serialising keep their booked times.
+        """
+        if scale <= 0:
+            raise ValueError(f"uplink scale must be positive, got {scale}")
+        key = frozenset((rack_a, rack_b))
+        if scale == 1.0:
+            self._uplink_scale.pop(key, None)
+        else:
+            self._uplink_scale[key] = scale
+
+    def uplink_scale(self, rack_a: str, rack_b: str) -> float:
+        return self._uplink_scale.get(frozenset((rack_a, rack_b)), 1.0)
 
     # -- main API ------------------------------------------------------------
 
@@ -93,9 +116,11 @@ class TransferModel:
             rack_a = self.cluster.node(src_node).rack_id
             rack_b = self.cluster.node(dst_node).rack_id
             uplink_key = frozenset((rack_a, rack_b))
-            uplink_duration = self._serialisation_s(
-                num_bytes, self.interrack_uplink_mbps
-            )
+            uplink_mbps = self.interrack_uplink_mbps
+            scale = self._uplink_scale.get(uplink_key)
+            if uplink_mbps is not None and scale is not None:
+                uplink_mbps = uplink_mbps * scale
+            uplink_duration = self._serialisation_s(num_bytes, uplink_mbps)
             start_up = max(end_tx, self._uplink_free.get(uplink_key, 0.0))
             end_hop = start_up + uplink_duration
             self._uplink_free[uplink_key] = end_hop

@@ -60,7 +60,7 @@ class _NodeRuntime:
     """Per-node execution state: cores, run queue, slowdown factors."""
 
     __slots__ = ("node", "cores", "active", "ready", "slowdown", "overhead",
-                 "tasks")
+                 "fault_factor", "tasks")
 
     def __init__(self, node: Node):
         self.node = node
@@ -69,6 +69,10 @@ class _NodeRuntime:
         self.ready: Deque["_TaskRuntime"] = deque()
         self.slowdown = 1.0
         self.overhead = 1.0
+        #: service-time multiplier from injected CPU degradation faults
+        #: (1.0 = healthy); orthogonal to the thrash/overcommit factors,
+        #: which are recomputed from placements.
+        self.fault_factor = 1.0
         self.tasks: List["_TaskRuntime"] = []
 
     @property
@@ -305,6 +309,24 @@ class SimulationRun:
         """Inject a node failure at simulated ``time``."""
         self.on_time(time, lambda: self._fail_node(node_id))
 
+    def recover_node_at(self, time: float, node_id: str) -> None:
+        """Revive a failed node at simulated ``time`` (delayed rejoin)."""
+        self.on_time(time, lambda: self._recover_node(node_id))
+
+    def set_node_fault_factor(self, node_id: str, factor: float) -> None:
+        """Degrade (or restore) a node's effective CPU speed.
+
+        Service times on the node are multiplied by ``factor`` from now
+        on; ``1.0`` restores full speed.  In-flight work keeps the service
+        time it was dispatched with, as a real frequency change would.
+        """
+        if factor <= 0:
+            raise SimulationError(f"fault factor must be positive, got {factor}")
+        node_rt = self._nodes.get(node_id)
+        if node_rt is None:
+            raise SimulationError(f"cannot degrade unknown node {node_id!r}")
+        node_rt.fault_factor = factor
+
     def migrate(self, topology_id: str, new_assignment: Assignment) -> None:
         """Rebind a topology's tasks to a new assignment immediately.
 
@@ -368,6 +390,23 @@ class SimulationRun:
             rt.emit_blocked = False
             rt.emit_timer_set = False
         node_rt.ready.clear()
+
+    def _recover_node(self, node_id: str) -> None:
+        """The machine rejoins: its capacity becomes schedulable again and
+        any tasks still bound to it restart (their queued work was lost at
+        failure, exactly as a process restart loses its heap)."""
+        node_rt = self._nodes.get(node_id)
+        if node_rt is None:
+            raise SimulationError(f"cannot recover unknown node {node_id!r}")
+        node_rt.node.recover()
+        for rt in node_rt.tasks:
+            rt.alive = True
+            if rt.is_spout:
+                self._try_emit(rt)
+            elif rt.work and not rt.queued and not rt.running:
+                rt.queued = True
+                node_rt.ready.append(rt)
+        self._dispatch(node_rt)
 
     # -- spout emission --------------------------------------------------------------
 
@@ -464,7 +503,10 @@ class SimulationRun:
                 # must be decoded before user code runs.
                 per_tuple_ms += self.config.serde_ms_per_tuple
         base = tuples * per_tuple_ms / 1e3
-        return max(base * node_rt.slowdown * node_rt.overhead, _MIN_SERVICE_S)
+        return max(
+            base * node_rt.slowdown * node_rt.overhead * node_rt.fault_factor,
+            _MIN_SERVICE_S,
+        )
 
     def _complete(
         self,

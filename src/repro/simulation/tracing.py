@@ -35,7 +35,8 @@ class TraceEvent:
     Attributes:
         time: Simulated time in seconds.
         kind: ``emit`` | ``deliver`` | ``ack`` | ``fail`` | ``crash`` |
-            ``migrate`` | ``node_down``.
+            ``migrate`` | ``node_down`` | ``node_up`` | ``inject`` |
+            ``expire`` | ``reschedule``.
         topology: Topology id (empty for cluster-level events).
         detail: Human-readable specifics (task, node, counts).
     """
@@ -52,7 +53,10 @@ class TraceEvent:
 class Tracer:
     """Bounded event trace attached to a :class:`SimulationRun`."""
 
-    KINDS = ("emit", "deliver", "ack", "fail", "crash", "migrate", "node_down")
+    KINDS = (
+        "emit", "deliver", "ack", "fail", "crash", "migrate", "node_down",
+        "node_up", "inject", "expire", "reschedule",
+    )
 
     def __init__(self, capacity: int = 100_000):
         if capacity < 1:
@@ -61,6 +65,11 @@ class Tracer:
         self._events: Deque[TraceEvent] = deque(maxlen=capacity)
         self.dropped = 0
         self._installed = False
+        self._wrapped: List = []
+
+    @property
+    def installed(self) -> bool:
+        return self._installed
 
     # -- recording ---------------------------------------------------------
 
@@ -128,6 +137,14 @@ class Tracer:
 
         run._fail_node = traced_fail_node
 
+        original_recover_node = run._recover_node
+
+        def traced_recover_node(node_id):
+            tracer.record(run.sim.now, "node_up", "", node_id)
+            return original_recover_node(node_id)
+
+        run._recover_node = traced_recover_node
+
         original_migrate = run.migrate
 
         def traced_migrate(topology_id, new_assignment):
@@ -160,6 +177,33 @@ class Tracer:
             return original_failed(topology_id, tuples)
 
         stats.record_failed = traced_failed
+        self._wrapped = [
+            (run, "_finish_emit"),
+            (run, "_deliver"),
+            (run, "_crash_task"),
+            (run, "_fail_node"),
+            (run, "_recover_node"),
+            (run, "migrate"),
+            (stats, "record_ack"),
+            (stats, "record_failed"),
+        ]
+
+    def uninstall(self) -> None:
+        """Remove the wrappers, restoring the run's original hooks.
+
+        The recorded events stay queryable.  Needed before pickling the
+        run or anything referencing its stats server (closures are not
+        picklable); also strips any tracer installed on top of this one.
+        """
+        if not self._installed:
+            return
+        for owner, name in self._wrapped:
+            try:
+                delattr(owner, name)
+            except AttributeError:
+                pass
+        self._wrapped = []
+        self._installed = False
 
     # -- queries ------------------------------------------------------------------
 

@@ -1,0 +1,103 @@
+"""Seeded chaos generation: determinism, caps, cluster awareness."""
+
+import pytest
+
+from repro.cluster import ResourceVector, emulab_testbed, single_rack_cluster
+from repro.errors import ConfigError
+from repro.faults import ChaosGenerator, FaultSchedule, NodeCrash
+
+
+def small_single_rack():
+    return single_rack_cluster(
+        4,
+        capacity=ResourceVector.of(
+            memory_mb=2048.0, cpu=100.0, bandwidth_mbps=100.0
+        ),
+    )
+
+
+class TestDeterminism:
+    def test_same_seed_same_schedule(self):
+        gen = ChaosGenerator(
+            seed=7, num_crashes=2, num_slowdowns=1, num_link_faults=1,
+            num_silences=1,
+        )
+        assert gen.generate(emulab_testbed()) == gen.generate(emulab_testbed())
+
+    def test_different_seeds_differ(self):
+        kwargs = dict(num_crashes=2, num_slowdowns=2, num_link_faults=1)
+        schedules = {
+            ChaosGenerator(seed=seed, **kwargs).generate(emulab_testbed())
+            for seed in range(5)
+        }
+        assert len(schedules) > 1
+
+    def test_global_rng_not_consulted(self):
+        import random
+
+        gen = ChaosGenerator(seed=3, num_crashes=2, num_slowdowns=1)
+        random.seed(0)
+        first = gen.generate(emulab_testbed())
+        random.seed(12345)
+        second = gen.generate(emulab_testbed())
+        assert first == second
+
+    def test_round_trips_through_dicts(self):
+        gen = ChaosGenerator(
+            seed=11, num_crashes=2, num_slowdowns=1, num_link_faults=1,
+            num_silences=1,
+        )
+        schedule = gen.generate(emulab_testbed())
+        assert FaultSchedule.from_dicts(schedule.to_dicts()) == schedule
+
+
+class TestBudgets:
+    def test_crashes_capped_by_dead_fraction(self):
+        gen = ChaosGenerator(seed=1, num_crashes=10, max_dead_fraction=0.5)
+        schedule = gen.generate(small_single_rack())
+        crashes = [e for e in schedule if isinstance(e, NodeCrash)]
+        assert len(crashes) == 2  # half of 4 nodes
+
+    def test_link_faults_skipped_on_single_rack(self):
+        gen = ChaosGenerator(seed=1, num_crashes=0, num_link_faults=3)
+        assert len(gen.generate(small_single_rack())) == 0
+
+    def test_faults_land_inside_window(self):
+        gen = ChaosGenerator(
+            seed=5, num_crashes=2, num_slowdowns=2, num_silences=2,
+            start_s=30.0, end_s=50.0,
+        )
+        for event in gen.generate(emulab_testbed()):
+            assert 30.0 <= event.at <= 50.0
+
+    def test_generated_schedule_validates(self):
+        cluster = emulab_testbed()
+        gen = ChaosGenerator(
+            seed=9, num_crashes=3, num_slowdowns=2, num_link_faults=2,
+            num_silences=2,
+        )
+        gen.generate(cluster).validate(cluster)
+
+
+class TestValidation:
+    def test_bad_window_rejected(self):
+        with pytest.raises(ConfigError):
+            ChaosGenerator(start_s=50.0, end_s=50.0)
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ConfigError):
+            ChaosGenerator(num_crashes=-1)
+
+    def test_bad_probability_rejected(self):
+        with pytest.raises(ConfigError):
+            ChaosGenerator(rejoin_probability=1.5)
+
+    def test_bad_dead_fraction_rejected(self):
+        with pytest.raises(ConfigError):
+            ChaosGenerator(max_dead_fraction=0.0)
+
+    def test_empty_cluster_rejected(self):
+        from repro.cluster.cluster import Cluster
+
+        with pytest.raises(ConfigError):
+            ChaosGenerator(seed=1).generate(Cluster([]))

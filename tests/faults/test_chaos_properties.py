@@ -1,0 +1,114 @@
+"""Property-based chaos invariants (hypothesis).
+
+Seeded random fault schedules are injected into small managed runs and
+the safety properties every recovery must satisfy are checked:
+
+* the run always terminates;
+* after a final scheduling round, every task is placed exactly once;
+* no task is placed on a dead node;
+* dead nodes hold no topology reservations (released on crash).
+"""
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+from repro.cluster import ResourceVector, single_rack_cluster
+from repro.errors import SchedulingError
+from repro.faults import ChaosGenerator
+from tests.conftest import make_linear
+from tests.faults.conftest import build_chaos
+
+seeds = st.integers(min_value=0, max_value=10_000)
+
+
+def _chaos_context(seed, num_crashes=2, num_slowdowns=1, num_silences=1):
+    cluster = single_rack_cluster(
+        4,
+        capacity=ResourceVector.of(
+            memory_mb=2048.0, cpu=100.0, bandwidth_mbps=100.0
+        ),
+    )
+    schedule = ChaosGenerator(
+        seed=seed,
+        num_crashes=num_crashes,
+        num_slowdowns=num_slowdowns,
+        num_silences=num_silences,
+        start_s=10.0,
+        end_s=35.0,
+    ).generate(cluster)
+    return build_chaos(
+        schedule,
+        cluster=cluster,
+        topology=make_linear(parallelism=1, stages=2, memory_mb=128.0),
+        duration_s=50.0,
+    )
+
+
+@settings(max_examples=8, deadline=None)
+@given(seed=seeds)
+def test_chaos_run_terminates_and_recovers_consistently(seed):
+    ctx = _chaos_context(seed)
+    ctx.run.run()  # termination is the first property
+
+    # settle: one more round on the final membership so the assignment
+    # under test reflects the cluster as the run left it
+    try:
+        ctx.nimbus.schedule_round()
+    except SchedulingError:
+        pytest.skip("surviving capacity cannot host the topology")
+    final = ctx.nimbus.assignments[ctx.topology.topology_id]
+
+    # every task placed exactly once
+    assert final.is_complete(ctx.topology)
+    assert sorted(final.tasks) == sorted(ctx.topology.tasks)
+    placements = [
+        task for node in final.nodes for task in final.tasks_on_node(node)
+    ]
+    assert len(placements) == len(set(placements)) == len(ctx.topology.tasks)
+
+    # no task on a dead node
+    alive = {node.node_id for node in ctx.cluster.alive_nodes}
+    assert set(final.nodes) <= alive
+
+    # crashed nodes hold no topology reservations
+    prefix = f"{ctx.topology.topology_id}:"
+    for node in ctx.cluster.nodes:
+        if node.node_id not in alive:
+            stale = [
+                label
+                for label in node.reservations
+                if label.startswith(prefix)
+            ]
+            assert stale == []
+
+
+@settings(max_examples=8, deadline=None)
+@given(seed=seeds)
+def test_generated_schedules_never_exceed_dead_fraction(seed):
+    cluster = single_rack_cluster(
+        6,
+        capacity=ResourceVector.of(
+            memory_mb=2048.0, cpu=100.0, bandwidth_mbps=100.0
+        ),
+    )
+    schedule = ChaosGenerator(
+        seed=seed, num_crashes=10, max_dead_fraction=0.5
+    ).generate(cluster)
+    crashes = [e for e in schedule if e.kind == "node_crash"]
+    assert len(crashes) <= 3
+    assert len({e.node_id for e in crashes}) == len(crashes)
+
+
+@settings(max_examples=8, deadline=None)
+@given(seed=seeds)
+def test_memory_hard_constraint_holds_throughout(seed):
+    ctx = _chaos_context(seed)
+    ctx.run.run()
+    for node in ctx.cluster.nodes:
+        reserved = sum(
+            node.reservations[label].memory_mb
+            for label in node.reservations
+        )
+        assert reserved <= node.capacity.memory_mb + 1e-6

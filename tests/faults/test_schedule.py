@@ -1,0 +1,115 @@
+"""Fault schedules: ordering, validation, serialisation."""
+
+import pickle
+
+import pytest
+
+from repro.cluster import emulab_testbed
+from repro.errors import ConfigError
+from repro.faults import (
+    FaultSchedule,
+    HeartbeatSilence,
+    LinkDegradation,
+    NodeCrash,
+    NodeSlowdown,
+    RackPartition,
+)
+
+
+def sample_schedule():
+    return FaultSchedule.of(
+        LinkDegradation(
+            at=60.0, rack_a="rack-0", rack_b="rack-1", factor=5.0, until=90.0
+        ),
+        NodeCrash(at=40.0, node_id="node-0-3"),
+        NodeSlowdown(at=50.0, node_id="node-1-1", factor=2.0, until=70.0),
+        HeartbeatSilence(at=45.0, node_id="node-1-0", until=65.0),
+        RackPartition(at=30.0, rack_id="rack-1", heal_at=80.0),
+    )
+
+
+class TestCollection:
+    def test_events_sorted_by_time(self):
+        schedule = sample_schedule()
+        times = [event.at for event in schedule]
+        assert times == sorted(times)
+
+    def test_len_bool_iter(self):
+        assert len(sample_schedule()) == 5
+        assert bool(sample_schedule())
+        assert not FaultSchedule()
+        assert list(FaultSchedule()) == []
+
+    def test_merged_with_keeps_order(self):
+        early = FaultSchedule.of(NodeCrash(at=10.0, node_id="node-0-0"))
+        late = FaultSchedule.of(NodeCrash(at=5.0, node_id="node-0-1"))
+        merged = early.merged_with(late)
+        assert [e.at for e in merged] == [5.0, 10.0]
+
+    def test_rejects_non_events(self):
+        with pytest.raises(ConfigError):
+            FaultSchedule(("not-an-event",))
+
+    def test_equality_ignores_construction_order(self):
+        a = NodeCrash(at=10.0, node_id="node-0-0")
+        b = NodeCrash(at=5.0, node_id="node-0-1")
+        assert FaultSchedule.of(a, b) == FaultSchedule.of(b, a)
+
+    def test_picklable(self):
+        schedule = sample_schedule()
+        assert pickle.loads(pickle.dumps(schedule)) == schedule
+
+
+class TestValidation:
+    def test_valid_against_testbed(self):
+        sample_schedule().validate(emulab_testbed())
+
+    def test_unknown_node_rejected(self):
+        schedule = FaultSchedule.of(NodeCrash(at=10.0, node_id="node-9-9"))
+        with pytest.raises(ConfigError, match="unknown node"):
+            schedule.validate(emulab_testbed())
+
+    def test_unknown_rack_rejected(self):
+        schedule = FaultSchedule.of(RackPartition(at=10.0, rack_id="rack-7"))
+        with pytest.raises(ConfigError, match="unknown rack"):
+            schedule.validate(emulab_testbed())
+
+    def test_unknown_link_rack_rejected(self):
+        schedule = FaultSchedule.of(
+            LinkDegradation(at=10.0, rack_a="rack-0", rack_b="rack-7")
+        )
+        with pytest.raises(ConfigError, match="unknown rack"):
+            schedule.validate(emulab_testbed())
+
+    def test_event_past_horizon_rejected(self):
+        schedule = FaultSchedule.of(NodeCrash(at=200.0, node_id="node-0-0"))
+        with pytest.raises(ConfigError, match="horizon"):
+            schedule.validate(emulab_testbed(), horizon_s=120.0)
+        schedule.validate(emulab_testbed(), horizon_s=300.0)
+
+
+class TestSerialisation:
+    def test_round_trip(self):
+        schedule = sample_schedule()
+        assert FaultSchedule.from_dicts(schedule.to_dicts()) == schedule
+
+    def test_dicts_carry_kind_and_fields(self):
+        [record] = FaultSchedule.of(
+            NodeCrash(at=40.0, node_id="node-0-3", rejoin_at=75.0)
+        ).to_dicts()
+        assert record == {
+            "kind": "node_crash",
+            "at": 40.0,
+            "node_id": "node-0-3",
+            "rejoin_at": 75.0,
+        }
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigError, match="unknown fault kind"):
+            FaultSchedule.from_dicts([{"kind": "meteor_strike", "at": 1.0}])
+
+    def test_bad_fields_rejected(self):
+        with pytest.raises(ConfigError, match="bad fields"):
+            FaultSchedule.from_dicts(
+                [{"kind": "node_crash", "at": 1.0, "node_id": "n", "bogus": 1}]
+            )

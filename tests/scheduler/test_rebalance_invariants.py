@@ -1,0 +1,114 @@
+"""OnlineRebalancer safety invariants.
+
+Migration is only safe if it can never make things worse than doing
+nothing: the destination's memory hard constraint must hold, the evicted
+task's reservation must be restored when no better home exists, and the
+hot-node blocker must never leak.
+"""
+
+from repro.cluster import ResourceVector, single_rack_cluster
+from repro.scheduler import RStormScheduler
+from repro.scheduler.rebalance import OnlineRebalancer
+from repro.topology.task import task_label
+from tests.conftest import make_linear
+
+BLOCKER = "__rebalance_blocker__"
+
+
+def scheduled(cluster=None, topology=None):
+    cluster = cluster or single_rack_cluster(
+        3,
+        capacity=ResourceVector.of(
+            memory_mb=2048.0, cpu=100.0, bandwidth_mbps=100.0
+        ),
+    )
+    topology = topology or make_linear()
+    assignment = RStormScheduler().schedule([topology], cluster)[
+        topology.topology_id
+    ]
+    return cluster, topology, assignment
+
+
+class TestReplaceTask:
+    def test_successful_migration_respects_memory_everywhere(self):
+        cluster, topology, assignment = scheduled()
+        rebalancer = OnlineRebalancer(cluster)
+        hot = assignment.nodes[0]
+        task = assignment.tasks_on_node(hot)[0]
+        new = rebalancer._replace_task(topology, assignment, task, hot)
+        if new is not None:
+            assert new.node_of(task) != hot
+            assert new.is_complete(topology)
+        # the hard constraint holds on every node either way
+        for node in cluster.nodes:
+            reserved = sum(
+                vector.memory_mb for vector in node.reservations.values()
+            )
+            assert reserved <= node.capacity.memory_mb + 1e-6
+
+    def test_no_better_home_restores_reservation(self):
+        # a cluster where every *other* node is memory-full: the evicted
+        # task has nowhere to go and must be put back where it was
+        cluster, topology, assignment = scheduled()
+        hot = assignment.nodes[0]
+        for node in cluster.nodes:
+            if node.node_id == hot:
+                continue
+            free = node.available.memory_mb
+            if free > 0:
+                node.reserve(
+                    f"__filler__{node.node_id}",
+                    node.capacity.schema.vector(memory_mb=free),
+                )
+        task = assignment.tasks_on_node(hot)[0]
+        before = cluster.node(hot).reservations
+        assert task_label(task) in before
+
+        new = rebalancer_replace(cluster, topology, assignment, task, hot)
+        assert new is None
+        after = cluster.node(hot).reservations
+        assert task_label(task) in after
+        assert after[task_label(task)] == before[task_label(task)]
+
+    def test_blocker_released_on_success_and_failure(self):
+        # success path
+        cluster, topology, assignment = scheduled()
+        hot = assignment.nodes[0]
+        task = assignment.tasks_on_node(hot)[0]
+        OnlineRebalancer(cluster)._replace_task(topology, assignment, task, hot)
+        assert BLOCKER not in cluster.node(hot).reservations
+
+        # failure path: all alternatives full
+        cluster, topology, assignment = scheduled()
+        hot = assignment.nodes[0]
+        for node in cluster.nodes:
+            if node.node_id != hot and node.available.memory_mb > 0:
+                node.reserve(
+                    f"__filler__{node.node_id}",
+                    node.capacity.schema.vector(
+                        memory_mb=node.available.memory_mb
+                    ),
+                )
+        task = assignment.tasks_on_node(hot)[0]
+        OnlineRebalancer(cluster)._replace_task(topology, assignment, task, hot)
+        assert BLOCKER not in cluster.node(hot).reservations
+
+    def test_hot_node_exclusion_is_per_call(self):
+        # the blocker only exists inside one _replace_task call: afterwards
+        # the hot node can accept new reservations again
+        cluster, topology, assignment = scheduled()
+        hot = assignment.nodes[0]
+        task = assignment.tasks_on_node(hot)[0]
+        OnlineRebalancer(cluster)._replace_task(topology, assignment, task, hot)
+        node = cluster.node(hot)
+        free = node.available.memory_mb
+        assert free > 0
+        node.reserve("__probe__", node.capacity.schema.vector(memory_mb=free))
+        assert "__probe__" in node.reservations
+        node.release("__probe__")
+
+
+def rebalancer_replace(cluster, topology, assignment, task, hot):
+    return OnlineRebalancer(cluster)._replace_task(
+        topology, assignment, task, hot
+    )

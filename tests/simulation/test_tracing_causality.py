@@ -1,0 +1,84 @@
+"""Causal ordering of the recovery chain in the trace.
+
+A node crash must appear in the trace as
+
+    inject -> node_down -> expire -> reschedule -> migrate
+
+with monotonically non-decreasing timestamps, because each stage is
+caused by the previous one: the injector downs the node, the detector
+expires its heartbeat session, Nimbus reschedules, the run migrates.
+"""
+
+import pickle
+
+from repro.faults import FaultSchedule, NodeCrash
+from tests.faults.conftest import build_chaos
+
+
+def crashed_trace(duration_s=60.0):
+    probe = build_chaos(FaultSchedule())
+    victim = probe.nimbus.assignments[probe.topology.topology_id].nodes[0]
+    ctx = build_chaos(
+        FaultSchedule.of(NodeCrash(at=20.0, node_id=victim)),
+        duration_s=duration_s,
+    )
+    report = ctx.run.run()
+    return ctx, victim, report
+
+
+class TestCausality:
+    def test_recovery_chain_in_causal_order(self):
+        ctx, victim, _ = crashed_trace()
+        tracer = ctx.monitor.tracer
+        [inject] = tracer.query(kind="inject")
+        [down] = tracer.query(kind="node_down")
+        [expire] = tracer.query(kind="expire")
+        reschedules = tracer.query(kind="reschedule")
+        migrates = tracer.query(kind="migrate")
+
+        assert victim in inject.detail
+        assert down.detail == victim
+        assert expire.detail == victim
+        assert reschedules and migrates
+
+        assert inject.time <= down.time <= expire.time
+        assert expire.time <= reschedules[0].time <= migrates[0].time
+
+    def test_trace_timestamps_never_decrease(self):
+        ctx, _, _ = crashed_trace()
+        times = [event.time for event in ctx.monitor.tracer.events()]
+        assert times == sorted(times)
+
+    def test_reschedule_precedes_its_migration(self):
+        ctx, _, _ = crashed_trace()
+        tracer = ctx.monitor.tracer
+        topo_id = ctx.topology.topology_id
+        for reschedule in tracer.query(kind="reschedule", topology=topo_id):
+            following = tracer.query(
+                kind="migrate", topology=topo_id, since=reschedule.time
+            )
+            assert following, "every reschedule must be applied"
+
+
+class TestUninstall:
+    def test_uninstall_makes_report_picklable(self):
+        ctx, _, report = crashed_trace()
+        ctx.monitor.tracer.uninstall()
+        clone = pickle.loads(pickle.dumps(report))
+        assert clone.sunk(ctx.topology.topology_id) == report.sunk(
+            ctx.topology.topology_id
+        )
+
+    def test_uninstall_preserves_recorded_events(self):
+        ctx, _, _ = crashed_trace()
+        tracer = ctx.monitor.tracer
+        before = len(tracer)
+        tracer.uninstall()
+        assert len(tracer) == before
+        assert not tracer.installed
+
+    def test_uninstall_is_idempotent(self):
+        ctx, _, _ = crashed_trace()
+        ctx.monitor.tracer.uninstall()
+        ctx.monitor.tracer.uninstall()
+        assert not ctx.monitor.tracer.installed
