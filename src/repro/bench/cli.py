@@ -1,0 +1,145 @@
+"""``repro bench`` — run the microbenchmarks, write/compare baselines.
+
+Usage::
+
+    python -m repro bench                     # run all, write JSON
+    python -m repro bench engine-churn tuple-routing --repeats 3
+    python -m repro bench --list
+    python -m repro bench --check --baseline benchmarks/baseline \
+        --tolerance 1.5                       # the CI perf gate
+
+``--check`` compares every fresh result against the committed baseline:
+event counts must match exactly (the benchmarks are deterministic);
+median wall time may regress up to ``--tolerance`` x baseline.  Exit
+status 1 on any failure, with one line per deviation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.bench.core import (
+    BenchResult,
+    compare_results,
+    load_result,
+    run_benchmark,
+    write_result,
+)
+from repro.bench.suites import REGISTRY
+
+__all__ = ["main", "build_parser"]
+
+DEFAULT_OUT_DIR = "benchmarks/results"
+DEFAULT_BASELINE_DIR = "benchmarks/baseline"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="rstorm bench",
+        description="Seeded, deterministic microbenchmarks of the "
+        "simulator, schedulers and experiment pipeline.",
+    )
+    parser.add_argument(
+        "benchmarks",
+        nargs="*",
+        metavar="NAME",
+        help="benchmark names to run (default: all; see --list)",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list benchmarks and exit"
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=None,
+        metavar="N",
+        help="override every benchmark's repeat count",
+    )
+    parser.add_argument(
+        "--out",
+        metavar="DIR",
+        default=DEFAULT_OUT_DIR,
+        help=f"directory for BENCH_<name>.json (default {DEFAULT_OUT_DIR})",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="DIR",
+        default=DEFAULT_BASELINE_DIR,
+        help="baseline directory for --check "
+        f"(default {DEFAULT_BASELINE_DIR})",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="compare fresh results against the baseline; exit 1 on "
+        "regression",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=1.5,
+        metavar="X",
+        help="allowed median wall-time regression factor for --check "
+        "(default 1.5)",
+    )
+    return parser
+
+
+def _format_row(result: BenchResult, baseline: Optional[BenchResult]) -> str:
+    row = (
+        f"{result.name:<14} median={result.median_s:8.4f}s "
+        f"p90={result.p90_s:8.4f}s events={result.events:>9,} "
+        f"ev/s={result.events_per_sec:>12,.0f} rss={result.peak_rss_kb:,}KB"
+    )
+    if baseline is not None and baseline.median_s > 0:
+        row += f"  ({baseline.median_s / result.median_s:.2f}x vs baseline)"
+    return row
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list:
+        for name, bench in REGISTRY.items():
+            print(f"{name:<14} {bench.description}")
+        return 0
+    names = args.benchmarks or list(REGISTRY)
+    unknown = [n for n in names if n not in REGISTRY]
+    if unknown:
+        print(
+            f"unknown benchmark(s): {', '.join(unknown)}; "
+            f"choose from {', '.join(REGISTRY)}",
+            file=sys.stderr,
+        )
+        return 2
+    failures = []
+    for name in names:
+        result = run_benchmark(REGISTRY[name], repeats=args.repeats)
+        baseline = load_result(args.baseline, name)
+        print(_format_row(result, baseline))
+        path = write_result(result, args.out)
+        print(f"  wrote {path}")
+        if args.check:
+            if baseline is None:
+                failures.append(
+                    f"{name}: no baseline in {args.baseline} "
+                    "(record one per docs/performance.md)"
+                )
+            else:
+                failures.extend(
+                    f"{f.benchmark}: {f.reason}"
+                    for f in compare_results(result, baseline, args.tolerance)
+                )
+    if args.check:
+        if failures:
+            print("\nperf gate FAILED:", file=sys.stderr)
+            for line in failures:
+                print(f"  {line}", file=sys.stderr)
+            return 1
+        print(f"\nperf gate OK ({len(names)} benchmark(s) within tolerance)")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,304 @@
+"""The benchmark registry: what ``repro bench`` measures.
+
+Seven probes, ordered cheapest first:
+
+* ``engine-churn`` — raw DES event loop: payload-carrying events that
+  perpetually reschedule themselves through the heap.
+* ``tuple-routing`` — the full tuple-batch path (routing, grouping,
+  transfer model, stats) on a default-scheduled network-bound linear
+  topology, where most traffic leaves the node.
+* ``sched-rstorm`` / ``sched-default`` / ``sched-aniello`` — repeated
+  scheduling rounds of the three compute micro-topologies on the Emulab
+  testbed cluster.
+* ``chaos-replay`` — a fault-injected coordination-plane run (heartbeat
+  detector, Nimbus rescheduling, busiest-node crash), replayed from the
+  deterministic chaos scenario the ``chaos`` experiment uses.
+* ``fig9-e2e`` — the six fig9 work units end to end at ``--duration
+  60``: schedule + simulate, the wall-clock the figure suite pays.
+
+Every probe's event count is a deterministic function of the constants
+below; changing them invalidates the committed baselines (see
+``docs/performance.md`` for the re-record procedure).
+"""
+
+from __future__ import annotations
+
+import inspect
+import random
+from typing import Callable, Dict, List
+
+from repro.bench.core import Benchmark
+from repro.simulation.engine import Simulator
+
+__all__ = ["REGISTRY"]
+
+#: Total events the engine-churn probe pushes through the loop.
+ENGINE_CHURN_EVENTS = 300_000
+#: Concurrent self-rescheduling event streams (heap width).
+ENGINE_CHURN_STREAMS = 512
+ENGINE_CHURN_SEED = 0x5EED
+#: Horizon handed to ``Simulator.run`` — far past the last churn event,
+#: so the probe exercises the production drain path (the tight ``run``
+#: loop that carries every simulation), not per-event ``step`` calls.
+ENGINE_CHURN_HORIZON_S = 1e9
+
+#: Simulated seconds of the network-bound routing run.
+TUPLE_ROUTING_DURATION_S = 30.0
+
+#: Scheduling rounds per scheduler benchmark, scaled per scheduler so
+#: every probe's timed section lands in the same ~0.2-0.5 s band (the
+#: round-robin default is ~30x faster per round than R-Storm).
+SCHEDULER_ROUNDS = {"r-storm": 100, "default": 1000, "aniello": 800}
+
+#: Simulated seconds of the chaos replay and fig9 end-to-end probes.
+CHAOS_DURATION_S = 180.0
+FIG9_DURATION_S = 60.0
+
+
+def _engine_supports_args() -> bool:
+    """True when ``Simulator.schedule_at`` forwards ``*args`` to the
+    action (the optimised engine); the bench then schedules bare
+    callables with payload args instead of allocating a closure per
+    event — exactly the difference the optimisation makes in the
+    runtime's transfer path."""
+    parameters = inspect.signature(Simulator.schedule_at).parameters.values()
+    return any(p.kind is inspect.Parameter.VAR_POSITIONAL for p in parameters)
+
+
+#: Churn delay table size (power of two: index wrap is a mask, not ``%``).
+_DELAY_MASK = 4095
+
+
+class _ChurnStream:
+    """One self-rescheduling stream of payload-carrying events.
+
+    In args mode the reschedule passes the **prebound** ``self._fire``
+    plus the payload as schedule args (the optimised engine's idiom: no
+    per-event callable allocation at all).  In closure mode — the only
+    idiom the pre-optimisation engine supports — every reschedule
+    allocates a fresh lambda capturing the payload.
+    """
+
+    __slots__ = ("sim", "delays", "index", "remaining", "use_args", "_fire")
+
+    def __init__(self, sim: Simulator, delays: List[float], start: int,
+                 budget: int, use_args: bool):
+        self.sim = sim
+        self.delays = delays
+        self.index = start
+        self.remaining = budget
+        self.use_args = use_args
+        self._fire = self.fire
+
+    def fire(self, payload: int) -> None:
+        remaining = self.remaining
+        if remaining <= 0:
+            return
+        self.remaining = remaining - 1
+        i = self.index
+        self.index = i + 1
+        sim = self.sim
+        delay = self.delays[i & _DELAY_MASK]
+        if self.use_args:
+            sim.schedule_at(sim.now + delay, self._fire, payload + 1)
+        else:
+            sim.schedule_at(
+                sim.now + delay, lambda p=payload + 1: self.fire(p)
+            )
+
+
+def _prepare_engine_churn() -> Callable[[], int]:
+    rng = random.Random(ENGINE_CHURN_SEED)
+    delays = [rng.uniform(1e-4, 1e-2) for _ in range(_DELAY_MASK + 1)]
+    sim = Simulator()
+    use_args = _engine_supports_args()
+    # Reschedule budget split evenly over the streams (the first
+    # ``remainder`` streams take one extra), so the initial events plus
+    # every reschedule total exactly ENGINE_CHURN_EVENTS.
+    reschedules = ENGINE_CHURN_EVENTS - ENGINE_CHURN_STREAMS
+    base, remainder = divmod(reschedules, ENGINE_CHURN_STREAMS)
+    streams = [
+        _ChurnStream(sim, delays, i * 7, base + (1 if i < remainder else 0),
+                     use_args)
+        for i in range(ENGINE_CHURN_STREAMS)
+    ]
+    start_delays = [rng.uniform(1e-4, 1e-2) for _ in range(len(streams))]
+
+    def workload() -> int:
+        for stream, delay in zip(streams, start_delays):
+            if use_args:
+                sim.schedule_at(delay, stream._fire, 0)
+            else:
+                sim.schedule_at(delay, lambda s=stream: s.fire(0))
+        sim.run(ENGINE_CHURN_HORIZON_S)
+        return sim.events_processed
+
+    return workload
+
+
+def _prepare_tuple_routing() -> Callable[[], int]:
+    from repro.cluster.builders import emulab_testbed
+    from repro.scheduler.default import DefaultScheduler
+    from repro.simulation.config import SimulationConfig
+    from repro.simulation.runtime import SimulationRun
+    from repro.workloads.micro import NETWORK_BOUND_UPLINK_MBPS, micro_topology
+
+    topology = micro_topology("linear", "network")
+    cluster = emulab_testbed()
+    round_info = DefaultScheduler().run([topology], cluster)
+    config = SimulationConfig(duration_s=TUPLE_ROUTING_DURATION_S, warmup_s=5.0)
+    run = SimulationRun(
+        cluster,
+        [(topology, round_info.assignments[topology.topology_id])],
+        config,
+        interrack_uplink_mbps=NETWORK_BOUND_UPLINK_MBPS,
+    )
+
+    def workload() -> int:
+        return run.run().events_processed
+
+    return workload
+
+
+def _prepare_scheduler(factory_name: str) -> Callable[[], Callable[[], int]]:
+    def prepare() -> Callable[[], int]:
+        from repro.cluster.builders import emulab_testbed
+        from repro.scheduler.aniello import AnielloOfflineScheduler
+        from repro.scheduler.default import DefaultScheduler
+        from repro.scheduler.rstorm import RStormScheduler
+        from repro.workloads.micro import micro_topology
+
+        factories = {
+            "r-storm": RStormScheduler,
+            "default": DefaultScheduler,
+            "aniello": AnielloOfflineScheduler,
+        }
+        scheduler = factories[factory_name]()
+        rounds = SCHEDULER_ROUNDS[factory_name]
+        cluster = emulab_testbed()
+        topologies = [
+            micro_topology(kind, "compute")
+            for kind in ("linear", "diamond", "star")
+        ]
+        tasks_per_round = sum(len(t.tasks) for t in topologies)
+
+        def workload() -> int:
+            for _ in range(rounds):
+                cluster.release_all()
+                round_info = scheduler.run(topologies, cluster)
+                for topology in topologies:
+                    if not round_info.assignments[
+                        topology.topology_id
+                    ].is_complete(topology):  # pragma: no cover - sanity
+                        raise AssertionError("incomplete schedule in bench")
+            return rounds * tasks_per_round
+
+        return workload
+
+    return prepare
+
+
+def _prepare_chaos_replay() -> Callable[[], int]:
+    from repro.cluster.builders import emulab_testbed
+    from repro.experiments.fault_recovery import single_crash
+    from repro.experiments.parallel import ChaosUnit, spec
+    from repro.scheduler.rstorm import RStormScheduler
+    from repro.simulation.config import SimulationConfig
+    from repro.workloads.micro import micro_topology
+
+    unit = ChaosUnit(
+        scheduler=spec(RStormScheduler),
+        topologies=(spec(micro_topology, "linear", "compute"),),
+        cluster=spec(emulab_testbed),
+        config=SimulationConfig(duration_s=CHAOS_DURATION_S, warmup_s=15.0),
+        faults=spec(single_crash),
+        label="bench:chaos-replay",
+    )
+
+    def workload() -> int:
+        return unit.execute().report.events_processed
+
+    return workload
+
+
+def _prepare_fig9_e2e() -> Callable[[], int]:
+    from repro.experiments.fig9_compute_bound import compute_bound_units
+    from repro.simulation.config import SimulationConfig
+
+    config = SimulationConfig(duration_s=FIG9_DURATION_S, warmup_s=15.0)
+
+    def workload() -> int:
+        units = compute_bound_units(config)
+        return sum(unit.execute().report.events_processed for unit in units)
+
+    return workload
+
+
+REGISTRY: Dict[str, Benchmark] = {
+    bench.name: bench
+    for bench in (
+        Benchmark(
+            name="engine-churn",
+            description=(
+                f"raw DES loop: {ENGINE_CHURN_EVENTS:,} self-rescheduling "
+                f"payload events over {ENGINE_CHURN_STREAMS} streams"
+            ),
+            prepare=_prepare_engine_churn,
+            repeats=5,
+        ),
+        Benchmark(
+            name="tuple-routing",
+            description=(
+                "full tuple-batch path: default-scheduled network-bound "
+                f"linear topology, {TUPLE_ROUTING_DURATION_S:g} simulated s"
+            ),
+            prepare=_prepare_tuple_routing,
+            repeats=5,
+        ),
+        Benchmark(
+            name="sched-rstorm",
+            description=(
+                f"{SCHEDULER_ROUNDS['r-storm']} R-Storm scheduling rounds "
+                "of the three compute micro-topologies"
+            ),
+            prepare=_prepare_scheduler("r-storm"),
+            repeats=5,
+        ),
+        Benchmark(
+            name="sched-default",
+            description=(
+                f"{SCHEDULER_ROUNDS['default']} default-Storm (round-robin) "
+                "scheduling rounds of the three compute micro-topologies"
+            ),
+            prepare=_prepare_scheduler("default"),
+            repeats=5,
+        ),
+        Benchmark(
+            name="sched-aniello",
+            description=(
+                f"{SCHEDULER_ROUNDS['aniello']} Aniello offline scheduling "
+                "rounds of the three compute micro-topologies"
+            ),
+            prepare=_prepare_scheduler("aniello"),
+            repeats=5,
+        ),
+        Benchmark(
+            name="chaos-replay",
+            description=(
+                "fault-injected coordination plane: busiest-node crash on "
+                f"R-Storm, {CHAOS_DURATION_S:g} simulated s"
+            ),
+            prepare=_prepare_chaos_replay,
+            repeats=3,
+        ),
+        Benchmark(
+            name="fig9-e2e",
+            description=(
+                "end-to-end fig9 work units (6 schedule+simulate runs, "
+                f"{FIG9_DURATION_S:g} simulated s each)"
+            ),
+            prepare=_prepare_fig9_e2e,
+            repeats=2,
+        ),
+    )
+}

@@ -9,6 +9,7 @@ Usage::
     python -m repro all --jobs 4              # fan misses out over processes
     python -m repro all --no-cache            # force fresh simulations
     python -m repro fig9 --cache-dir /tmp/c   # alternate cache location
+    python -m repro bench [--check]           # microbenchmarks (see --help)
 
 Results are memoised on disk (default ``.repro-cache/``, overridable via
 ``--cache-dir`` or the ``REPRO_CACHE_DIR`` environment variable): re-running
@@ -146,6 +147,13 @@ def _run_one(name: str, args, context: ExperimentContext) -> None:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    argv = sys.argv[1:] if argv is None else list(argv)
+    if argv and argv[0] == "bench":
+        # The bench subcommand owns its flags; import lazily so figure
+        # runs never pay for it.
+        from repro.bench.cli import main as bench_main
+
+        return bench_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.experiment == "list":
         for name in sorted(REGISTRY):

@@ -32,6 +32,10 @@ class Cluster:
         self.topography = topography or NetworkTopography()
         self._racks: Dict[str, Rack] = {}
         self._nodes: Dict[str, Node] = {}
+        #: (node_a, node_b) -> abstract distance; the matrix is immutable
+        #: between membership changes, and the schedulers query the same
+        #: pairs thousands of times per round.
+        self._distance_cache: Dict[Tuple[str, str], float] = {}
         for rack in racks or []:
             self.add_rack(rack)
 
@@ -48,6 +52,7 @@ class Cluster:
         self._racks[rack.rack_id] = rack
         for node in rack:
             self._nodes[node.node_id] = node
+        self._distance_cache.clear()
 
     def add_node(self, node: Node) -> None:
         """Add a node, creating its rack on demand (supervisor join)."""
@@ -59,11 +64,13 @@ class Cluster:
             self._racks[node.rack_id] = rack
         rack.add_node(node)
         self._nodes[node.node_id] = node
+        self._distance_cache.clear()
 
     def remove_node(self, node_id: str) -> Node:
         node = self.node(node_id)
         self._racks[node.rack_id].remove_node(node_id)
         del self._nodes[node_id]
+        self._distance_cache.clear()
         return node
 
     # -- access ------------------------------------------------------------
@@ -119,11 +126,17 @@ class Cluster:
 
     def node_distance(self, node_a: str, node_b: str) -> float:
         """Abstract network distance between two nodes (R-Storm's
-        ``networkDistance`` term)."""
-        a, b = self.node(node_a), self.node(node_b)
-        return self.topography.node_distance(
-            a.rack_id, a.node_id, b.rack_id, b.node_id
-        )
+        ``networkDistance`` term).  Memoised: the matrix only changes
+        when cluster membership does."""
+        key = (node_a, node_b)
+        cached = self._distance_cache.get(key)
+        if cached is None:
+            a, b = self.node(node_a), self.node(node_b)
+            cached = self.topography.node_distance(
+                a.rack_id, a.node_id, b.rack_id, b.node_id
+            )
+            self._distance_cache[key] = cached
+        return cached
 
     def slot_distance_level(self, slot_a: WorkerSlot, slot_b: WorkerSlot):
         """Locality level between two worker slots (used by the simulator

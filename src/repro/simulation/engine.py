@@ -4,80 +4,123 @@ A minimal, fast event loop: callbacks scheduled at absolute simulated
 times, executed in time order with FIFO tie-breaking (a monotonically
 increasing sequence number).  All simulation times are in **seconds** of
 simulated time.
+
+Hot-path design (the loop carries every experiment in the repo):
+
+* Events are ``(time, seq, action, args)`` heap entries.  Callers pass
+  payload via ``*args`` instead of closing over it, so scheduling a
+  tuple delivery allocates no closure/cell objects — only the heap
+  tuple, which the heap needs anyway.
+* :meth:`run` binds the heap, ``heappop`` and the horizon to locals and
+  pops in a tight loop; ``__slots__`` keeps attribute access dict-free.
+* ``now`` and ``events_processed`` are plain slot attributes, not
+  properties: the runtime reads ``sim.now`` several times per event and
+  a descriptor call there is measurable.  They are read-only by
+  convention — only the engine assigns them.
+
+Horizon convention (the boundary every caller must agree on):
+
+* ``run(until)`` is **inclusive**: events scheduled exactly at ``until``
+  are processed, including events an ``until``-timed callback schedules
+  at that same instant.  Events strictly after ``until`` stay queued.
+* The clock ends at exactly ``until`` even if the heap drains earlier,
+  and a repeated ``run(until)`` at the same horizon is a no-op.
+* :meth:`peek_time` callers stepping a run manually should therefore use
+  ``peek_time() <= horizon`` ("still due this run"), never ``<``.
 """
 
 from __future__ import annotations
 
-import heapq
-import itertools
-from typing import Callable, List, Optional, Tuple
+from heapq import heappop as _heappop, heappush as _heappush
+from typing import Any, Callable, List, Optional, Tuple
 
 from repro.errors import SimulationError
 
 __all__ = ["Simulator"]
 
+_Event = Tuple[float, int, Callable[..., None], Tuple[Any, ...]]
+
 
 class Simulator:
-    """Heap-based discrete-event loop."""
+    """Heap-based discrete-event loop.
+
+    Attributes:
+        now: Current simulated time in seconds (read-only by convention).
+        events_processed: Events executed so far (read-only by
+            convention; coherent between :meth:`run` calls, not while one
+            is on the stack).
+    """
+
+    __slots__ = ("now", "events_processed", "_seq", "_heap")
 
     def __init__(self) -> None:
-        self._now = 0.0
-        self._seq = itertools.count()
-        self._heap: List[Tuple[float, int, Callable[[], None]]] = []
-        self._events_processed = 0
+        self.now = 0.0
+        self.events_processed = 0
+        self._seq = 0
+        self._heap: List[_Event] = []
 
-    @property
-    def now(self) -> float:
-        """Current simulated time in seconds."""
-        return self._now
+    def schedule_at(
+        self, time: float, action: Callable[..., None], *args: Any
+    ) -> None:
+        """Run ``action(*args)`` at absolute simulated time ``time``.
 
-    @property
-    def events_processed(self) -> int:
-        return self._events_processed
-
-    def schedule_at(self, time: float, action: Callable[[], None]) -> None:
-        """Run ``action`` at absolute simulated time ``time``.
+        Passing payload through ``args`` (rather than a closure) keeps
+        per-event allocation to the heap entry itself.
 
         Raises:
             SimulationError: if ``time`` is in the simulated past.
         """
-        if time < self._now - 1e-12:
+        if time < self.now - 1e-12:
             raise SimulationError(
-                f"cannot schedule event at {time} before now={self._now}"
+                f"cannot schedule event at {time} before now={self.now}"
             )
-        heapq.heappush(self._heap, (time, next(self._seq), action))
+        self._seq += 1
+        _heappush(self._heap, (time, self._seq, action, args))
 
-    def schedule_after(self, delay: float, action: Callable[[], None]) -> None:
-        """Run ``action`` ``delay`` seconds from now (delay >= 0)."""
+    def schedule_after(
+        self, delay: float, action: Callable[..., None], *args: Any
+    ) -> None:
+        """Run ``action(*args)`` ``delay`` seconds from now (delay >= 0)."""
         if delay < 0:
             raise SimulationError(f"negative delay {delay}")
-        self.schedule_at(self._now + delay, action)
+        # Pushed directly rather than via schedule_at: a non-negative
+        # delay can never land in the past, and this is the runtime's
+        # hottest scheduling call (one per dispatched batch).
+        self._seq += 1
+        _heappush(self._heap, (self.now + delay, self._seq, action, args))
 
     def run(self, until: float) -> None:
         """Process events in order until simulated time ``until``.
 
-        Events scheduled exactly at ``until`` are processed; the clock
-        ends at ``until`` even if the heap drains earlier.
+        Events scheduled exactly at ``until`` are processed (inclusive
+        horizon — see the module docstring); the clock ends at ``until``
+        even if the heap drains earlier.
         """
-        if until < self._now:
+        if until < self.now:
             raise SimulationError(
-                f"cannot run backwards to {until} from now={self._now}"
+                f"cannot run backwards to {until} from now={self.now}"
             )
-        while self._heap and self._heap[0][0] <= until:
-            time, _, action = heapq.heappop(self._heap)
-            self._now = time
-            self._events_processed += 1
-            action()
-        self._now = until
+        heap = self._heap
+        pop = _heappop
+        processed = self.events_processed
+        try:
+            while heap and heap[0][0] <= until:
+                time, _seq, action, args = pop(heap)
+                self.now = time
+                processed += 1
+                action(*args)
+        finally:
+            self.events_processed = processed
+        self.now = until
 
     def step(self) -> bool:
         """Process a single event; returns False when the heap is empty."""
         if not self._heap:
             return False
-        time, _, action = heapq.heappop(self._heap)
-        self._now = time
-        self._events_processed += 1
-        action()
+        time, _seq, action, args = _heappop(self._heap)
+        self.now = time
+        self.events_processed += 1
+        action(*args)
         return True
 
     def peek_time(self) -> Optional[float]:
@@ -85,6 +128,6 @@ class Simulator:
 
     def __repr__(self) -> str:
         return (
-            f"Simulator(now={self._now:.6f}, pending={len(self._heap)}, "
-            f"processed={self._events_processed})"
+            f"Simulator(now={self.now:.6f}, pending={len(self._heap)}, "
+            f"processed={self.events_processed})"
         )

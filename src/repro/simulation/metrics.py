@@ -22,7 +22,13 @@ __all__ = ["StatisticServer"]
 
 
 class StatisticServer:
-    """Raw metric sink for one simulation run."""
+    """Raw metric sink for one simulation run.
+
+    Deliberately *not* ``__slots__``-ed: the opt-in
+    :class:`~repro.simulation.tracing.Tracer` observes acks/failures by
+    monkeypatching bound hooks onto instances, which needs the instance
+    dict.  The hot recorders below stay dict/float arithmetic only.
+    """
 
     def __init__(self, window_s: float = 10.0):
         if window_s <= 0:
@@ -54,12 +60,15 @@ class StatisticServer:
     # -- recording ---------------------------------------------------------
 
     def window_index(self, time: float) -> int:
-        return int(math.floor(time / self.window_s))
+        # int() truncates toward zero == floor for the non-negative
+        # simulated times the runtime produces, without the math.floor
+        # call in the per-batch sink path.
+        return int(time / self.window_s)
 
     def record_sink(
         self, topology_id: str, component: str, time: float, tuples: int
     ) -> None:
-        w = self.window_index(time)
+        w = int(time / self.window_s)
         self._sink_windows[(topology_id, w)] += tuples
         self._component_windows[(topology_id, component, w)] += tuples
         self._sink_totals[topology_id] += tuples

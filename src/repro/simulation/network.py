@@ -24,7 +24,28 @@ __all__ = ["TransferModel"]
 
 
 class TransferModel:
-    """Tracks link occupancy and computes batch arrival times."""
+    """Tracks link occupancy and computes batch arrival times.
+
+    The per-level latency and bandwidth figures are immutable for the
+    lifetime of a run, so they are precomputed into flat lists indexed
+    by :class:`DistanceLevel` (an ``IntEnum``) — the transfer hot path
+    does no topography method calls.  The cached values feed *exactly*
+    the same float expressions as before, keeping arrival times
+    bit-identical to the unoptimised model.
+    """
+
+    __slots__ = (
+        "cluster",
+        "interrack_uplink_mbps",
+        "_nic_tx_free",
+        "_nic_rx_free",
+        "_uplink_free",
+        "_uplink_scale",
+        "_latency_s",
+        "_bw_scaled",
+        "_uplink_bw_scaled",
+        "_rack_of",
+    )
 
     def __init__(self, cluster: Cluster, interrack_uplink_mbps: Optional[float] = None):
         """
@@ -51,6 +72,18 @@ class TransferModel:
         #: rack-pair -> bandwidth multiplier from injected link faults
         #: (1.0 = healthy, 0.1 = the trunk lost 90% of its capacity).
         self._uplink_scale: Dict[FrozenSet[str], float] = {}
+        #: per-level one-way latency in seconds, indexed by DistanceLevel.
+        self._latency_s = [topo.latency_ms(level) / 1e3 for level in DistanceLevel]
+        #: per-level NIC bandwidth pre-scaled to bits/s (0.0 = unlimited),
+        #: so serialisation stays ``(bytes * 8.0) / bw_scaled`` verbatim.
+        self._bw_scaled = [
+            bw * 1e6 if (bw := topo.bandwidth_mbps(level)) and bw > 0 else 0.0
+            for level in DistanceLevel
+        ]
+        uplink = self.interrack_uplink_mbps
+        self._uplink_bw_scaled = uplink * 1e6 if uplink and uplink > 0 else 0.0
+        #: node id -> rack id, filled lazily (nodes may join mid-run).
+        self._rack_of: Dict[str, str] = {}
 
     # -- helpers -------------------------------------------------------------
 
@@ -95,37 +128,50 @@ class TransferModel:
         Mutates link free-times, so calls must be made in simulation-time
         order (which the DES guarantees).
         """
-        topo = self.cluster.topography
-        latency_s = topo.latency_ms(level) / 1e3
-        if level in (DistanceLevel.INTRA_PROCESS, DistanceLevel.INTER_PROCESS):
+        latency_s = self._latency_s[level]
+        if level < DistanceLevel.INTER_NODE:
+            # intra/inter-process: in-memory hand-off, latency only.
             return now + latency_s
 
-        nic_bw = topo.bandwidth_mbps(level)
-        nic_duration = self._serialisation_s(num_bytes, nic_bw)
+        bw_scaled = self._bw_scaled[level]
+        nic_duration = (num_bytes * 8.0) / bw_scaled if bw_scaled else 0.0
 
         # Store-and-forward pipeline: the sender NIC, the (cross-rack)
         # uplink and the receiver NIC are held one after another, each for
         # its own serialisation time, so a fat uplink genuinely carries
         # more aggregate traffic than one NIC.
-        start_tx = max(now, self._nic_tx_free.get(src_node, 0.0))
+        tx_free = self._nic_tx_free.get(src_node, 0.0)
+        start_tx = now if now >= tx_free else tx_free
         end_tx = start_tx + nic_duration
         self._nic_tx_free[src_node] = end_tx
 
         end_hop = end_tx
         if level is DistanceLevel.INTER_RACK:
-            rack_a = self.cluster.node(src_node).rack_id
-            rack_b = self.cluster.node(dst_node).rack_id
+            rack_of = self._rack_of
+            rack_a = rack_of.get(src_node)
+            if rack_a is None:
+                rack_a = rack_of[src_node] = self.cluster.node(src_node).rack_id
+            rack_b = rack_of.get(dst_node)
+            if rack_b is None:
+                rack_b = rack_of[dst_node] = self.cluster.node(dst_node).rack_id
             uplink_key = frozenset((rack_a, rack_b))
-            uplink_mbps = self.interrack_uplink_mbps
             scale = self._uplink_scale.get(uplink_key)
-            if uplink_mbps is not None and scale is not None:
-                uplink_mbps = uplink_mbps * scale
-            uplink_duration = self._serialisation_s(num_bytes, uplink_mbps)
-            start_up = max(end_tx, self._uplink_free.get(uplink_key, 0.0))
+            if scale is None:
+                up_scaled = self._uplink_bw_scaled
+            elif self.interrack_uplink_mbps is not None:
+                # rare fault-injected path: keep the historical float
+                # expression ((mbps * scale) * 1e6) bit-for-bit.
+                up_scaled = (self.interrack_uplink_mbps * scale) * 1e6
+            else:
+                up_scaled = 0.0
+            uplink_duration = (num_bytes * 8.0) / up_scaled if up_scaled else 0.0
+            up_free = self._uplink_free.get(uplink_key, 0.0)
+            start_up = end_tx if end_tx >= up_free else up_free
             end_hop = start_up + uplink_duration
             self._uplink_free[uplink_key] = end_hop
 
-        start_rx = max(end_hop, self._nic_rx_free.get(dst_node, 0.0))
+        rx_free = self._nic_rx_free.get(dst_node, 0.0)
+        start_rx = end_hop if end_hop >= rx_free else rx_free
         end_rx = start_rx + nic_duration
         self._nic_rx_free[dst_node] = end_rx
         return end_rx + latency_s

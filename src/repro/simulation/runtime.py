@@ -51,6 +51,10 @@ _MIN_SERVICE_S = 1e-6
 _EMIT = 0
 _PROCESS = 1
 
+#: Hot-path aliases (module-global loads beat enum attribute lookups).
+_INTRA_PROCESS = DistanceLevel.INTRA_PROCESS
+_INTER_NODE = DistanceLevel.INTER_NODE
+
 #: CPU points that equal one core (the paper: "CPU availability of a node
 #: is set to 100 * #cores").
 _POINTS_PER_CORE = 100.0
@@ -59,11 +63,12 @@ _POINTS_PER_CORE = 100.0
 class _NodeRuntime:
     """Per-node execution state: cores, run queue, slowdown factors."""
 
-    __slots__ = ("node", "cores", "active", "ready", "slowdown", "overhead",
-                 "fault_factor", "tasks")
+    __slots__ = ("node", "node_id", "cores", "active", "ready", "slowdown",
+                 "overhead", "fault_factor", "tasks")
 
     def __init__(self, node: Node):
         self.node = node
+        self.node_id = node.node_id
         self.cores = max(1, int(round(node.capacity.cpu / _POINTS_PER_CORE)))
         self.active = 0
         self.ready: Deque["_TaskRuntime"] = deque()
@@ -79,22 +84,28 @@ class _NodeRuntime:
     def alive(self) -> bool:
         return self.node.alive
 
-    @property
-    def node_id(self) -> str:
-        return self.node.node_id
-
 
 class _OutRoute:
-    """A producer task's route to one downstream component."""
+    """A producer task's route to one downstream component.
+
+    ``levels``/``remote``/``local_indices`` are derived from placements
+    and cached until ``levels_version`` falls behind the run's placement
+    version — the distance matrix is immutable between migrations.
+    """
 
     __slots__ = ("consumer_component", "grouping", "consumers", "levels",
-                 "levels_version", "is_local_or_shuffle")
+                 "remote", "local_indices", "levels_version",
+                 "is_local_or_shuffle")
 
     def __init__(self, consumer_component, grouping, consumers):
         self.consumer_component = consumer_component
         self.grouping = grouping
         self.consumers: List["_TaskRuntime"] = consumers
         self.levels: Optional[List[DistanceLevel]] = None
+        #: parallel to ``levels``: does delivery i leave the node (NIC)?
+        self.remote: Optional[List[bool]] = None
+        #: cached local-consumer indices for local-or-shuffle groupings.
+        self.local_indices: Optional[List[int]] = None
         self.levels_version = -1
         self.is_local_or_shuffle = isinstance(grouping, LocalOrShuffleGrouping)
 
@@ -181,6 +192,11 @@ class SimulationRun:
         self.stats = StatisticServer(self.config.window_s)
         self.transfer = TransferModel(cluster, interrack_uplink_mbps)
         self._placement_version = 0
+        # Hot-path copies of immutable config knobs (attribute access on
+        # a plain float beats dataclass field lookup per event).
+        self._max_pending = self.config.max_spout_pending
+        self._overflow = self.config.queue_overflow_batches
+        self._serde_ms = self.config.serde_ms_per_tuple
         self._nodes: Dict[str, _NodeRuntime] = {
             node.node_id: _NodeRuntime(node) for node in cluster.nodes
         }
@@ -300,10 +316,11 @@ class SimulationRun:
             events_processed=self.sim.events_processed,
         )
 
-    def on_time(self, time: float, callback: Callable[[], None]) -> None:
+    def on_time(self, time: float, callback: Callable[..., None], *args) -> None:
         """Register an arbitrary callback at simulated ``time`` (failure
-        injection, nimbus scheduling ticks, ...)."""
-        self.sim.schedule_at(time, callback)
+        injection, nimbus scheduling ticks, ...).  Extra ``args`` are
+        forwarded to the callback at fire time, closure-free."""
+        self.sim.schedule_at(time, callback, *args)
 
     def fail_node_at(self, time: float, node_id: str) -> None:
         """Inject a node failure at simulated ``time``."""
@@ -411,33 +428,39 @@ class SimulationRun:
     # -- spout emission --------------------------------------------------------------
 
     def _try_emit(self, spout: _TaskRuntime) -> None:
-        pending_cap = self.config.max_spout_pending
+        pending_cap = self._max_pending
         if (
             not spout.alive
-            or not spout.node.alive
+            or not spout.node.node.alive
             or spout.emit_blocked
             or (pending_cap is not None and spout.inflight >= pending_cap)
         ):
             return
-        now = self.sim.now
-        if spout.profile.max_rate_tps is not None and now < spout.next_emit_time:
+        if (
+            spout.profile.max_rate_tps is not None
+            and self.sim.now < spout.next_emit_time
+        ):
             if not spout.emit_timer_set:
+                # One coalesced wake timer per throttled spout: repeated
+                # credit returns (acks, timeouts) while the timer is set
+                # schedule nothing.
                 spout.emit_timer_set = True
-
-                def wake(s=spout):
-                    s.emit_timer_set = False
-                    self._try_emit(s)
-
-                self.sim.schedule_at(spout.next_emit_time, wake)
+                self.sim.schedule_at(
+                    spout.next_emit_time, self._wake_spout, spout
+                )
             return
         spout.emit_blocked = True
         self._push_work(spout, _EMIT, None)
+
+    def _wake_spout(self, spout: _TaskRuntime) -> None:
+        spout.emit_timer_set = False
+        self._try_emit(spout)
 
     # -- work dispatch -----------------------------------------------------------------
 
     def _push_work(self, task: _TaskRuntime, kind: int, payload) -> None:
         task.work.append((kind, payload))
-        overflow = self.config.queue_overflow_batches
+        overflow = self._overflow
         if overflow is not None and len(task.work) > overflow:
             self._crash_task(task)
             return
@@ -462,51 +485,58 @@ class SimulationRun:
                 pass
             task.queued = False
         self.stats.record_crash(task.topo.topology_id, task.component.name)
+        self.sim.schedule_after(
+            self.config.worker_restart_s, self._revive_task, task
+        )
 
-        def revive(t=task):
-            if not t.node.alive:
-                return  # node died meanwhile; nimbus must reschedule
-            t.alive = True
-            if t.is_spout:
-                self._try_emit(t)
-
-        self.sim.schedule_after(self.config.worker_restart_s, revive)
+    def _revive_task(self, task: _TaskRuntime) -> None:
+        if not task.node.node.alive:
+            return  # node died meanwhile; nimbus must reschedule
+        task.alive = True
+        if task.is_spout:
+            self._try_emit(task)
 
     def _dispatch(self, node_rt: _NodeRuntime) -> None:
-        while node_rt.alive and node_rt.active < node_rt.cores and node_rt.ready:
-            task = node_rt.ready.popleft()
+        # Tight loop: payload rides the event as schedule args (no
+        # closure per dispatched batch), and the node's liveness is read
+        # straight off the Node to skip property-call overhead.
+        node = node_rt.node
+        ready = node_rt.ready
+        cores = node_rt.cores
+        schedule_after = self.sim.schedule_after
+        complete = self._complete
+        service_time = self._service_time
+        while node.alive and node_rt.active < cores and ready:
+            task = ready.popleft()
             task.queued = False
             if not task.alive or not task.work:
                 continue
             task.running = True
             node_rt.active += 1
             kind, payload = task.work.popleft()
-            service = self._service_time(task, kind, payload, node_rt)
-            self.sim.schedule_after(
-                service,
-                lambda t=task, k=kind, p=payload, s=service, n=node_rt: (
-                    self._complete(t, k, p, s, n)
-                ),
-            )
+            service = service_time(task, kind, payload, node_rt)
+            schedule_after(service, complete, task, kind, payload, service,
+                           node_rt)
 
     def _service_time(
         self, task: _TaskRuntime, kind: int, payload, node_rt: _NodeRuntime
     ) -> float:
+        profile = task.profile
         if kind == _EMIT:
-            tuples = task.profile.emit_batch_tuples
-            per_tuple_ms = task.profile.cpu_ms_per_tuple
+            tuples = profile.emit_batch_tuples
+            per_tuple_ms = profile.cpu_ms_per_tuple
         else:
             tuples = payload[1]
-            per_tuple_ms = task.profile.cpu_ms_per_tuple
-            if payload[2] is not DistanceLevel.INTRA_PROCESS:
+            per_tuple_ms = profile.cpu_ms_per_tuple
+            if payload[2] is not _INTRA_PROCESS:
                 # Tuples from another worker process arrive serialised and
                 # must be decoded before user code runs.
-                per_tuple_ms += self.config.serde_ms_per_tuple
-        base = tuples * per_tuple_ms / 1e3
-        return max(
-            base * node_rt.slowdown * node_rt.overhead * node_rt.fault_factor,
-            _MIN_SERVICE_S,
+                per_tuple_ms += self._serde_ms
+        service = (
+            tuples * per_tuple_ms / 1e3
+            * node_rt.slowdown * node_rt.overhead * node_rt.fault_factor
         )
+        return service if service >= _MIN_SERVICE_S else _MIN_SERVICE_S
 
     def _complete(
         self,
@@ -519,7 +549,7 @@ class SimulationRun:
         self.stats.record_busy(node_rt.node_id, service)
         task.running = False
         node_rt.active -= 1
-        if task.alive and node_rt.alive:
+        if task.alive and node_rt.node.alive:
             if kind == _EMIT:
                 self._finish_emit(task)
             else:
@@ -527,7 +557,11 @@ class SimulationRun:
         if task.alive and task.work and not task.queued and not task.running:
             task.queued = True
             task.node.ready.append(task)
-            self._dispatch(task.node)
+            if task.node is not node_rt:
+                # Only after a migration mid-flight; the common case (the
+                # task completed on its own node) is covered by the
+                # dispatch below.
+                self._dispatch(task.node)
         self._dispatch(node_rt)
 
     # -- emit / process effects -----------------------------------------------------------
@@ -583,41 +617,57 @@ class SimulationRun:
 
     # -- routing --------------------------------------------------------------------------
 
+    def _refresh_route(self, producer: _TaskRuntime, route: _OutRoute) -> None:
+        """Recompute a route's placement-derived caches (distance levels,
+        NIC flags, local consumer indices).  Only runs when the placement
+        version moved — the distance matrix is immutable per placement."""
+        slot_level = self.cluster.slot_distance_level
+        producer_slot = producer.slot
+        levels = [slot_level(producer_slot, c.slot) for c in route.consumers]
+        route.levels = levels
+        route.remote = [level >= _INTER_NODE for level in levels]
+        if route.is_local_or_shuffle:
+            route.local_indices = [
+                i
+                for i, c in enumerate(route.consumers)
+                if c.slot == producer_slot
+            ]
+        else:
+            route.local_indices = None
+        route.levels_version = self._placement_version
+
     def _route(self, producer: _TaskRuntime, tuples: int, root_id: int) -> int:
         deliveries = 0
         now = self.sim.now
         num_bytes = tuples * producer.profile.tuple_bytes
+        version = self._placement_version
+        producer_node_id = producer.slot.node_id
+        # Hoisted bound methods: one lookup per routed batch instead of
+        # one per delivery.  ``self._deliver`` is looked up here (not at
+        # construction) so an installed Tracer still intercepts it.
+        transfer = self.transfer.transfer
+        schedule_at = self.sim.schedule_at
+        deliver = self._deliver
+        record_nic = self.stats.record_nic
         for route in producer.out_routes:
-            if route.levels_version != self._placement_version:
-                route.levels = [
-                    self.cluster.slot_distance_level(producer.slot, c.slot)
-                    for c in route.consumers
-                ]
-                route.levels_version = self._placement_version
-            local_indices = None
-            if route.is_local_or_shuffle:
-                local_indices = [
-                    i
-                    for i, c in enumerate(route.consumers)
-                    if c.slot == producer.slot
-                ]
+            if route.levels_version != version:
+                self._refresh_route(producer, route)
+            consumers = route.consumers
+            levels = route.levels
+            remote = route.remote
             targets = route.grouping.route(
-                len(route.consumers), key=root_id, local_indices=local_indices
+                len(consumers), key=root_id, local_indices=route.local_indices
             )
             for idx in targets:
-                consumer = route.consumers[idx]
-                level = route.levels[idx]
-                arrival = self.transfer.transfer(
-                    now, producer.node_id, consumer.node_id, level, num_bytes
+                consumer = consumers[idx]
+                level = levels[idx]
+                arrival = transfer(
+                    now, producer_node_id, consumer.slot.node_id, level,
+                    num_bytes,
                 )
-                if level in (DistanceLevel.INTER_NODE, DistanceLevel.INTER_RACK):
-                    self.stats.record_nic(producer.node_id, num_bytes)
-                self.sim.schedule_at(
-                    arrival,
-                    lambda c=consumer, r=root_id, t=tuples, lv=level: (
-                        self._deliver(c, r, t, lv)
-                    ),
-                )
+                if remote[idx]:
+                    record_nic(producer_node_id, num_bytes)
+                schedule_at(arrival, deliver, consumer, root_id, tuples, level)
                 deliveries += 1
         return deliveries
 
@@ -628,7 +678,7 @@ class SimulationRun:
         tuples: int,
         level: DistanceLevel,
     ) -> None:
-        if not consumer.alive or not consumer.node.alive:
+        if not consumer.alive or not consumer.node.node.alive:
             self.stats.record_dropped()
             return  # the root will time out and return spout credit
         self._push_work(consumer, _PROCESS, (root_id, tuples, level))
@@ -636,26 +686,31 @@ class SimulationRun:
     # -- ack timeout sweep -----------------------------------------------------------------
 
     def _schedule_sweep(self, topo_rt: _TopologyRuntime) -> None:
+        """One coalesced timeout timer per topology (period = a quarter
+        of the batch timeout) instead of a timer per pending root."""
         period = self.config.batch_timeout_s / 4.0
+        self.sim.schedule_after(period, self._sweep, topo_rt, period)
 
-        def sweep() -> None:
-            now = self.sim.now
-            cutoff = now - self.config.batch_timeout_s
-            expired = [
-                root
-                for root, entry in topo_rt.pending.items()
-                if entry[2] <= cutoff
-            ]
-            for root in expired:
-                entry = topo_rt.pending.pop(root)
-                spout: _TaskRuntime = entry[1]
-                spout.inflight -= 1
-                self.stats.record_failed(topo_rt.topology_id, entry[3])
-                if spout.alive:
-                    self._try_emit(spout)
-            self.sim.schedule_after(period, sweep)
-
-        self.sim.schedule_after(period, sweep)
+    def _sweep(self, topo_rt: _TopologyRuntime, period: float) -> None:
+        cutoff = self.sim.now - self.config.batch_timeout_s
+        # ``pending`` is insertion-ordered by emit time (roots are created
+        # at monotonically non-decreasing simulated times), so the expiry
+        # scan stops at the first live root instead of walking every
+        # in-flight batch each period.
+        expired = []
+        for root, entry in topo_rt.pending.items():
+            if entry[2] <= cutoff:
+                expired.append(root)
+            else:
+                break
+        for root in expired:
+            entry = topo_rt.pending.pop(root)
+            spout: _TaskRuntime = entry[1]
+            spout.inflight -= 1
+            self.stats.record_failed(topo_rt.topology_id, entry[3])
+            if spout.alive:
+                self._try_emit(spout)
+        self.sim.schedule_after(period, self._sweep, topo_rt, period)
 
     # -- helpers ------------------------------------------------------------------------------
 

@@ -1,0 +1,139 @@
+"""Tests for the ``repro bench`` CLI, including the --check gate."""
+
+import json
+
+import pytest
+
+from repro.bench import cli
+from repro.bench.core import Benchmark, result_filename
+
+
+@pytest.fixture()
+def fake_registry(monkeypatch):
+    registry = {
+        "fast": Benchmark(
+            name="fast",
+            description="constant tiny workload",
+            prepare=lambda: (lambda: 10),
+            repeats=2,
+        ),
+    }
+    monkeypatch.setattr(cli, "REGISTRY", registry)
+    return registry
+
+
+def test_list_exits_zero(fake_registry, capsys):
+    assert cli.main(["--list"]) == 0
+    out = capsys.readouterr().out
+    assert "fast" in out
+    assert "constant tiny workload" in out
+
+
+def test_unknown_benchmark_exits_two(fake_registry, capsys):
+    assert cli.main(["nope", "--out", "/tmp/unused"]) == 2
+    assert "unknown benchmark" in capsys.readouterr().err
+
+
+def test_run_writes_json(fake_registry, tmp_path, capsys):
+    out = tmp_path / "results"
+    assert cli.main(["fast", "--out", str(out)]) == 0
+    payload = json.loads((out / result_filename("fast")).read_text())
+    assert payload["events"] == 10
+    assert "fast" in capsys.readouterr().out
+
+
+def test_check_without_baseline_fails(fake_registry, tmp_path, capsys):
+    code = cli.main(
+        [
+            "fast",
+            "--out",
+            str(tmp_path / "out"),
+            "--baseline",
+            str(tmp_path / "missing"),
+            "--check",
+        ]
+    )
+    assert code == 1
+    assert "no baseline" in capsys.readouterr().err
+
+
+def _write_baseline(directory, events=10, median=1000.0):
+    directory.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "schema": 1,
+        "name": "fast",
+        "repeats": 2,
+        "times_s": [median, median],
+        "median_s": median,
+        "p90_s": median,
+        "events": events,
+        "events_per_sec": events / median,
+        "peak_rss_kb": 1,
+        "meta": {},
+    }
+    (directory / result_filename("fast")).write_text(json.dumps(payload))
+
+
+def test_check_passes_against_generous_baseline(
+    fake_registry, tmp_path, capsys
+):
+    baseline = tmp_path / "baseline"
+    _write_baseline(baseline, median=1000.0)
+    code = cli.main(
+        [
+            "fast",
+            "--out",
+            str(tmp_path / "out"),
+            "--baseline",
+            str(baseline),
+            "--check",
+        ]
+    )
+    assert code == 0
+    assert "perf gate OK" in capsys.readouterr().out
+
+
+def test_check_fails_on_regression(fake_registry, tmp_path, capsys):
+    # A baseline with an impossibly fast median makes any fresh run a
+    # >tolerance regression.
+    baseline = tmp_path / "baseline"
+    _write_baseline(baseline, median=1e-12)
+    code = cli.main(
+        [
+            "fast",
+            "--out",
+            str(tmp_path / "out"),
+            "--baseline",
+            str(baseline),
+            "--check",
+            "--tolerance",
+            "1.5",
+        ]
+    )
+    assert code == 1
+    assert "perf gate FAILED" in capsys.readouterr().err
+
+
+def test_check_fails_on_event_divergence(fake_registry, tmp_path, capsys):
+    baseline = tmp_path / "baseline"
+    _write_baseline(baseline, events=11, median=1000.0)
+    code = cli.main(
+        [
+            "fast",
+            "--out",
+            str(tmp_path / "out"),
+            "--baseline",
+            str(baseline),
+            "--check",
+        ]
+    )
+    assert code == 1
+    assert "events diverged" in capsys.readouterr().err
+
+
+def test_repro_cli_dispatches_bench(tmp_path, monkeypatch, capsys):
+    # `python -m repro bench --list` routes through the figure CLI.
+    from repro.cli import main as repro_main
+
+    assert repro_main(["bench", "--list"]) == 0
+    assert "engine-churn" in capsys.readouterr().out

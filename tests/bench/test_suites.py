@@ -1,0 +1,71 @@
+"""Tests for the benchmark registry and the engine-churn probe."""
+
+from repro.bench.core import Benchmark
+from repro.bench.suites import (
+    ENGINE_CHURN_EVENTS,
+    ENGINE_CHURN_STREAMS,
+    REGISTRY,
+    _ChurnStream,
+    _DELAY_MASK,
+    _engine_supports_args,
+    _prepare_engine_churn,
+)
+from repro.simulation.engine import Simulator
+
+EXPECTED_NAMES = {
+    "engine-churn",
+    "tuple-routing",
+    "sched-rstorm",
+    "sched-default",
+    "sched-aniello",
+    "chaos-replay",
+    "fig9-e2e",
+}
+
+
+class TestRegistry:
+    def test_expected_benchmarks_registered(self):
+        assert set(REGISTRY) == EXPECTED_NAMES
+
+    def test_entries_are_well_formed(self):
+        for name, bench in REGISTRY.items():
+            assert isinstance(bench, Benchmark)
+            assert bench.name == name
+            assert bench.description
+            assert callable(bench.prepare)
+            assert bench.repeats >= 1
+
+
+class TestEngineChurn:
+    def test_current_engine_supports_args(self):
+        assert _engine_supports_args() is True
+
+    def test_exact_event_count(self):
+        # The probe's event count is the determinism contract the CI
+        # gate asserts exactly: initial events + every reschedule.
+        workload = _prepare_engine_churn()
+        assert workload() == ENGINE_CHURN_EVENTS
+
+    def test_event_count_stable_across_prepares(self):
+        assert _prepare_engine_churn()() == _prepare_engine_churn()()
+
+    def test_streams_cover_whole_budget(self):
+        assert ENGINE_CHURN_EVENTS % ENGINE_CHURN_STREAMS != 0, (
+            "the budget split below only matters while the total does "
+            "not divide evenly; update this test if the constants change"
+        )
+
+    def test_closure_mode_matches_args_mode(self):
+        # The pre-optimisation engine only supports the closure idiom;
+        # both modes must do identical simulated work.
+        delays = [0.001] * (_DELAY_MASK + 1)
+
+        def run_mode(use_args):
+            sim = Simulator()
+            stream = _ChurnStream(sim, delays, 0, budget=10,
+                                  use_args=use_args)
+            sim.schedule_at(0.0005, stream._fire, 0)
+            sim.run(1e6)
+            return sim.events_processed, sim.now
+
+        assert run_mode(True) == run_mode(False)

@@ -56,6 +56,137 @@ class TestScheduling:
         with pytest.raises(SimulationError):
             Simulator().schedule_after(-0.1, lambda: None)
 
+    def test_scheduling_at_now_allowed(self):
+        sim = Simulator()
+        sim.run(3.0)
+        fired = []
+        sim.schedule_at(3.0, lambda: fired.append(sim.now))
+        sim.run(3.0)
+        assert fired == [3.0]
+
+
+class TestArgsAPI:
+    """Payload rides the event as ``*args`` — no closure needed."""
+
+    def test_schedule_at_forwards_args(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_at(1.0, fired.append, "payload")
+        sim.schedule_at(2.0, lambda a, b: fired.append(a + b), 40, 2)
+        sim.run(2.0)
+        assert fired == ["payload", 42]
+
+    def test_schedule_after_forwards_args(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_after(0.5, fired.append, 7)
+        sim.run(1.0)
+        assert fired == [7]
+
+    def test_fifo_across_schedule_at_and_after(self):
+        # schedule_at and schedule_after share one sequence counter, so
+        # same-time events fire in global submission order regardless of
+        # which API queued them.
+        sim = Simulator()
+        fired = []
+        sim.schedule_at(1.0, fired.append, "at-0")
+        sim.schedule_after(1.0, fired.append, "after-1")
+        sim.schedule_at(1.0, fired.append, "at-2")
+        sim.schedule_after(1.0, fired.append, "after-3")
+        sim.run(1.0)
+        assert fired == ["at-0", "after-1", "at-2", "after-3"]
+
+    def test_argless_actions_still_work(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_at(1.0, lambda: fired.append("bare"))
+        sim.run(1.0)
+        assert fired == ["bare"]
+
+
+class TestHorizonBoundary:
+    """``run(until)`` is inclusive — the convention every caller shares."""
+
+    def test_chained_same_instant_events_at_horizon(self):
+        # An event exactly at the horizon may schedule more work at that
+        # same instant; all of it belongs to this run.
+        sim = Simulator()
+        fired = []
+
+        def first():
+            fired.append("first")
+            sim.schedule_at(5.0, lambda: fired.append("second"))
+
+        sim.schedule_at(5.0, first)
+        sim.run(5.0)
+        assert fired == ["first", "second"]
+        assert sim.now == 5.0
+
+    def test_repeated_run_at_same_horizon_is_noop(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_at(5.0, lambda: fired.append(True))
+        sim.run(5.0)
+        processed = sim.events_processed
+        sim.run(5.0)
+        assert fired == [True]
+        assert sim.events_processed == processed
+        assert sim.now == 5.0
+
+    def test_event_just_past_horizon_waits(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_at(5.0 + 1e-9, fired.append, True)
+        sim.run(5.0)
+        assert fired == []
+        assert sim.peek_time() == 5.0 + 1e-9
+
+    def test_events_processed_counts_mid_run_scheduling(self):
+        # Events scheduled *during* the run are counted too, and the
+        # counter is coherent after run() returns.
+        sim = Simulator()
+
+        def spawn():
+            sim.schedule_after(0.0, lambda: None)
+
+        sim.schedule_at(1.0, spawn)
+        sim.run(10.0)
+        assert sim.events_processed == 2
+
+    def test_events_processed_survives_raising_callback(self):
+        sim = Simulator()
+        sim.schedule_at(1.0, lambda: None)
+
+        def boom():
+            raise RuntimeError("callback failed")
+
+        sim.schedule_at(2.0, boom)
+        with pytest.raises(RuntimeError):
+            sim.run(10.0)
+        assert sim.events_processed == 2
+
+    def test_step_matches_run_convention(self):
+        # Manual steppers use peek_time() <= horizon (inclusive), per the
+        # engine docstring; stepping that way agrees with run().
+        horizon = 5.0
+        events = [1.0, 5.0, 5.0, 7.0]
+        via_run = Simulator()
+        run_fired = []
+        for t in events:
+            via_run.schedule_at(t, run_fired.append, t)
+        via_run.run(horizon)
+
+        via_step = Simulator()
+        step_fired = []
+        for t in events:
+            via_step.schedule_at(t, step_fired.append, t)
+        while (
+            via_step.peek_time() is not None
+            and via_step.peek_time() <= horizon
+        ):
+            via_step.step()
+        assert step_fired == run_fired == [1.0, 5.0, 5.0]
+
 
 class TestRun:
     def test_clock_advances_to_horizon(self):
