@@ -12,13 +12,20 @@ Usage::
 event counts must match exactly (the benchmarks are deterministic);
 median wall time may regress up to ``--tolerance`` x baseline.  Exit
 status 1 on any failure, with one line per deviation.
+
+Whenever a run includes scheduler probes (``sched-*``), a compact
+``BENCH_sched.json`` summary is also written at the repo root (override
+with ``--summary``, disable with ``--summary ''``) so the scheduler perf
+trajectory is tracked across PRs next to the per-probe result files.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import pathlib
 import sys
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from repro.bench.core import (
     BenchResult,
@@ -29,10 +36,14 @@ from repro.bench.core import (
 )
 from repro.bench.suites import REGISTRY
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "write_sched_summary"]
 
 DEFAULT_OUT_DIR = "benchmarks/results"
 DEFAULT_BASELINE_DIR = "benchmarks/baseline"
+DEFAULT_SCHED_SUMMARY = "BENCH_sched.json"
+
+#: Prefix that marks a benchmark as a scheduler probe for the summary.
+SCHED_PREFIX = "sched-"
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -84,7 +95,50 @@ def build_parser() -> argparse.ArgumentParser:
         help="allowed median wall-time regression factor for --check "
         "(default 1.5)",
     )
+    parser.add_argument(
+        "--summary",
+        metavar="PATH",
+        default=DEFAULT_SCHED_SUMMARY,
+        help="path of the scheduler-probe summary written when any "
+        f"sched-* benchmark runs (default {DEFAULT_SCHED_SUMMARY}; "
+        "pass '' to disable)",
+    )
     return parser
+
+
+def write_sched_summary(
+    results: List[BenchResult],
+    baselines: Dict[str, Optional[BenchResult]],
+    path: str,
+) -> Optional[str]:
+    """Write the cross-PR scheduler summary if any ``sched-*`` probe ran.
+
+    One entry per probe with the headline numbers plus the speedup
+    against the loaded baseline (``null`` when no baseline exists), so a
+    single root-level file records the scheduler perf trajectory.
+    """
+    sched = [r for r in results if r.name.startswith(SCHED_PREFIX)]
+    if not sched or not path:
+        return None
+    probes = {}
+    for result in sched:
+        baseline = baselines.get(result.name)
+        speedup = (
+            round(baseline.median_s / result.median_s, 3)
+            if baseline is not None and baseline.median_s > 0
+            else None
+        )
+        probes[result.name] = {
+            "median_s": round(result.median_s, 6),
+            "p90_s": round(result.p90_s, 6),
+            "events": result.events,
+            "events_per_sec": round(result.events_per_sec, 1),
+            "speedup_vs_baseline": speedup,
+        }
+    payload = {"schema": 1, "probes": probes}
+    target = pathlib.Path(path)
+    target.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return str(target)
 
 
 def _format_row(result: BenchResult, baseline: Optional[BenchResult]) -> str:
@@ -114,9 +168,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
         return 2
     failures = []
+    results: List[BenchResult] = []
+    baselines: Dict[str, Optional[BenchResult]] = {}
     for name in names:
         result = run_benchmark(REGISTRY[name], repeats=args.repeats)
         baseline = load_result(args.baseline, name)
+        results.append(result)
+        baselines[name] = baseline
         print(_format_row(result, baseline))
         path = write_result(result, args.out)
         print(f"  wrote {path}")
@@ -131,6 +189,9 @@ def main(argv: Optional[List[str]] = None) -> int:
                     f"{f.benchmark}: {f.reason}"
                     for f in compare_results(result, baseline, args.tolerance)
                 )
+    summary_path = write_sched_summary(results, baselines, args.summary)
+    if summary_path is not None:
+        print(f"  wrote {summary_path} (scheduler summary)")
     if args.check:
         if failures:
             print("\nperf gate FAILED:", file=sys.stderr)

@@ -10,6 +10,9 @@ Seven probes, ordered cheapest first:
 * ``sched-rstorm`` / ``sched-default`` / ``sched-aniello`` — repeated
   scheduling rounds of the three compute micro-topologies on the Emulab
   testbed cluster.
+* ``sched-scale`` — R-Storm scheduling rounds of five concurrent
+  topologies on a 512-node, 8-rack synthetic cluster: the large-cluster
+  scaling headline (ROADMAP's production-size target).
 * ``chaos-replay`` — a fault-injected coordination-plane run (heartbeat
   detector, Nimbus rescheduling, busiest-node crash), replayed from the
   deterministic chaos scenario the ``chaos`` experiment uses.
@@ -53,6 +56,13 @@ SCHEDULER_ROUNDS = {"r-storm": 100, "default": 1000, "aniello": 800}
 #: Simulated seconds of the chaos replay and fig9 end-to-end probes.
 CHAOS_DURATION_S = 180.0
 FIG9_DURATION_S = 60.0
+
+#: The large-cluster scaling probe: 8 racks x 64 production-size nodes
+#: (16 GB / 8 cores / 1 Gbps each) scheduling five concurrent
+#: topologies with R-Storm for SCHED_SCALE_ROUNDS full rounds.
+SCHED_SCALE_RACKS = 8
+SCHED_SCALE_NODES_PER_RACK = 64
+SCHED_SCALE_ROUNDS = 2
 
 
 def _engine_supports_args() -> bool:
@@ -198,6 +208,76 @@ def _prepare_scheduler(factory_name: str) -> Callable[[], Callable[[], int]]:
     return prepare
 
 
+def _sched_scale_cluster():
+    from repro.cluster.builders import uniform_cluster
+    from repro.cluster.network import (
+        DEFAULT_PROFILES,
+        DistanceLevel,
+        LinkProfile,
+        NetworkTopography,
+    )
+    from repro.cluster.resources import ResourceVector
+
+    profiles = dict(DEFAULT_PROFILES)
+    profiles[DistanceLevel.INTER_RACK] = LinkProfile(
+        distance=4.0, latency_ms=0.5, bandwidth_mbps=10_000.0
+    )
+    profiles[DistanceLevel.INTER_NODE] = LinkProfile(
+        distance=1.0, latency_ms=0.1, bandwidth_mbps=1_000.0
+    )
+    return uniform_cluster(
+        nodes_per_rack=SCHED_SCALE_NODES_PER_RACK,
+        racks=SCHED_SCALE_RACKS,
+        capacity=ResourceVector.of(
+            memory_mb=16_384.0, cpu=800.0, bandwidth_mbps=1_000.0
+        ),
+        topography=NetworkTopography(profiles),
+        name="sched-scale",
+    )
+
+
+def _sched_scale_topologies():
+    from repro.workloads.micro import (
+        diamond_topology,
+        linear_topology,
+        star_topology,
+    )
+
+    return [
+        linear_topology("compute", parallelism=24, name="scale-linear-a"),
+        diamond_topology(
+            "compute", branches=3, parallelism=16, name="scale-diamond-a"
+        ),
+        star_topology("compute", arms=4, name="scale-star-a"),
+        linear_topology("compute", parallelism=16, name="scale-linear-b"),
+        diamond_topology(
+            "compute", branches=2, parallelism=12, name="scale-diamond-b"
+        ),
+    ]
+
+
+def _prepare_sched_scale() -> Callable[[], int]:
+    from repro.scheduler.rstorm import RStormScheduler
+
+    scheduler = RStormScheduler()
+    cluster = _sched_scale_cluster()
+    topologies = _sched_scale_topologies()
+    tasks_per_round = sum(len(t.tasks) for t in topologies)
+
+    def workload() -> int:
+        for _ in range(SCHED_SCALE_ROUNDS):
+            cluster.release_all()
+            round_info = scheduler.run(topologies, cluster)
+            for topology in topologies:
+                if not round_info.assignments[
+                    topology.topology_id
+                ].is_complete(topology):  # pragma: no cover - sanity
+                    raise AssertionError("incomplete schedule in bench")
+        return SCHED_SCALE_ROUNDS * tasks_per_round
+
+    return workload
+
+
 def _prepare_chaos_replay() -> Callable[[], int]:
     from repro.cluster.builders import emulab_testbed
     from repro.experiments.fault_recovery import single_crash
@@ -281,6 +361,16 @@ REGISTRY: Dict[str, Benchmark] = {
             ),
             prepare=_prepare_scheduler("aniello"),
             repeats=5,
+        ),
+        Benchmark(
+            name="sched-scale",
+            description=(
+                f"{SCHED_SCALE_ROUNDS} R-Storm rounds of five concurrent "
+                f"topologies on a {SCHED_SCALE_RACKS * SCHED_SCALE_NODES_PER_RACK}"
+                f"-node, {SCHED_SCALE_RACKS}-rack cluster"
+            ),
+            prepare=_prepare_sched_scale,
+            repeats=3,
         ),
         Benchmark(
             name="chaos-replay",

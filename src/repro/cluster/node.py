@@ -98,6 +98,12 @@ class Node:
     def reservations(self) -> Dict[str, ResourceVector]:
         return dict(self._reservations)
 
+    def has_reservation(self, label: str) -> bool:
+        """Membership test without the defensive copy that the
+        :attr:`reservations` property takes (the scheduling hot path
+        checks this once per placed task per round)."""
+        return label in self._reservations
+
     def slot(self, port: int) -> WorkerSlot:
         for s in self._slots:
             if s.port == port:

@@ -89,7 +89,7 @@ class ResourceSchema:
     :class:`~repro.errors.SchemaMismatchError` is raised).
     """
 
-    __slots__ = ("_dimensions", "_index")
+    __slots__ = ("_dimensions", "_index", "_hard_indices", "_soft_indices")
 
     def __init__(self, dimensions: Iterable[ResourceDimension]):
         dims = tuple(dimensions)
@@ -100,6 +100,12 @@ class ResourceSchema:
             raise ValueError(f"duplicate dimension names in schema: {names}")
         self._dimensions: Tuple[ResourceDimension, ...] = dims
         self._index: Dict[str, int] = {d.name: i for i, d in enumerate(dims)}
+        self._hard_indices: Tuple[int, ...] = tuple(
+            i for i, d in enumerate(dims) if d.is_hard
+        )
+        self._soft_indices: Tuple[int, ...] = tuple(
+            i for i, d in enumerate(dims) if d.is_soft
+        )
 
     # -- construction -----------------------------------------------------
 
@@ -144,6 +150,18 @@ class ResourceSchema:
     @property
     def soft_names(self) -> Tuple[str, ...]:
         return tuple(d.name for d in self._dimensions if d.is_soft)
+
+    @property
+    def hard_indices(self) -> Tuple[int, ...]:
+        """Positions of the hard dimensions, precomputed once — the
+        feasibility checks on the scheduling hot path index vectors
+        directly instead of resolving names per call."""
+        return self._hard_indices
+
+    @property
+    def soft_indices(self) -> Tuple[int, ...]:
+        """Positions of the soft dimensions, precomputed once."""
+        return self._soft_indices
 
     def index_of(self, name: str) -> int:
         try:
@@ -337,9 +355,10 @@ class ResourceVector:
         over-committed.
         """
         self._check_schema(demand)
-        for dim in self._schema.hard_names:
-            idx = self._schema.index_of(dim)
-            if self._values[idx] < demand._values[idx]:
+        values = self._values
+        demand_values = demand._values
+        for idx in self._schema.hard_indices:
+            if values[idx] < demand_values[idx]:
                 return False
         return True
 

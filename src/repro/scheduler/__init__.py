@@ -10,6 +10,7 @@ from repro.scheduler.ordering import (
     interleave_component_tasks,
     ordered_tasks,
 )
+from repro.scheduler.packed import PackedClusterState
 from repro.scheduler.quality import (
     ScheduleQuality,
     aggregate_node_load,
@@ -27,6 +28,7 @@ __all__ = [
     "GlobalState",
     "IScheduler",
     "OnlineRebalancer",
+    "PackedClusterState",
     "RStormScheduler",
     "ScheduleQuality",
     "SchedulingRound",

@@ -10,7 +10,7 @@ availability is consulted and anchoring/packing is absent.
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Optional, Sequence
+from typing import Dict, Mapping, Optional, Sequence
 
 from repro.cluster.cluster import Cluster
 from repro.cluster.node import WorkerSlot
@@ -18,10 +18,9 @@ from repro.errors import SchedulingError, TopologyValidationError
 from repro.scheduler.assignment import Assignment
 from repro.scheduler.base import IScheduler
 from repro.scheduler.default import interleaved_slots
-from repro.scheduler.ordering import interleave_component_tasks
+from repro.scheduler.ordering import TaskOrderingStrategy, ordered_tasks
 from repro.topology.task import Task
 from repro.topology.topology import Topology
-from repro.topology.traversal import topological_component_order
 
 __all__ = ["AnielloOfflineScheduler"]
 
@@ -61,20 +60,17 @@ class AnielloOfflineScheduler(IScheduler):
                 unassigned=[t for topo in topologies for t in topo.tasks],
             )
         cursor = 0
+        alive = {n.node_id for n in cluster.alive_nodes}
         result: Dict[str, Assignment] = {}
         for topology in topologies:
             self._check_acyclic(topology)
             prior = existing.get(topology.topology_id)
             surviving: Dict[Task, WorkerSlot] = {}
             if prior is not None:
-                alive = {n.node_id for n in cluster.alive_nodes}
-                for task in prior.tasks:
-                    slot = prior.slot_of(task)
+                for task, slot in prior.as_dict().items():
                     if slot.node_id in alive:
                         surviving[task] = slot
-            order = interleave_component_tasks(
-                topology, topological_component_order(topology)
-            )
+            order = ordered_tasks(topology, TaskOrderingStrategy.TOPOLOGICAL)
             missing = [t for t in order if t not in surviving]
             if not missing:
                 result[topology.topology_id] = Assignment(

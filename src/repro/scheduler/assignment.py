@@ -4,11 +4,17 @@ An :class:`Assignment` is the output of a scheduler for one topology: a
 complete mapping from every task to a worker slot.  Assignments are
 immutable value objects; the mutable bookkeeping used *while* scheduling
 lives in :class:`~repro.scheduler.global_state.GlobalState`.
+
+Schedulers construct an ``Assignment`` per topology per round, but most
+rounds only ever look up ``slot_of``/``tasks`` — the per-slot and
+per-node indexes are needed by quality metrics and the rebalancer, not
+by the scheduling hot path.  They are therefore built lazily on first
+use; construction only validates ownership and copies the mapping.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Optional, Set, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
 from repro.cluster.node import WorkerSlot
 from repro.errors import SchedulingError
@@ -21,7 +27,13 @@ __all__ = ["Assignment"]
 class Assignment:
     """An immutable task -> worker-slot mapping for one topology."""
 
-    __slots__ = ("topology_id", "_slot_of", "_tasks_by_slot", "_tasks_by_node")
+    __slots__ = (
+        "topology_id",
+        "_slot_of",
+        "_tasks_by_slot",
+        "_tasks_by_node",
+        "_sorted_tasks",
+    )
 
     def __init__(self, topology_id: str, mapping: Mapping[Task, WorkerSlot]):
         self.topology_id = topology_id
@@ -31,17 +43,32 @@ class Assignment:
                     f"task {task} does not belong to topology {topology_id!r}"
                 )
         self._slot_of: Dict[Task, WorkerSlot] = dict(mapping)
-        self._tasks_by_slot: Dict[WorkerSlot, Tuple[Task, ...]] = {}
-        self._tasks_by_node: Dict[str, Tuple[Task, ...]] = {}
+        self._tasks_by_slot: Optional[Dict[WorkerSlot, Tuple[Task, ...]]] = None
+        self._tasks_by_node: Optional[Dict[str, Tuple[Task, ...]]] = None
+        self._sorted_tasks: Optional[Tuple[Task, ...]] = None
+
+    def _by_slot(self) -> Dict[WorkerSlot, Tuple[Task, ...]]:
+        if self._tasks_by_slot is None:
+            self._build_indexes()
+        return self._tasks_by_slot  # type: ignore[return-value]
+
+    def _by_node(self) -> Dict[str, Tuple[Task, ...]]:
+        if self._tasks_by_node is None:
+            self._build_indexes()
+        return self._tasks_by_node  # type: ignore[return-value]
+
+    def _build_indexes(self) -> None:
         by_slot: Dict[WorkerSlot, List[Task]] = {}
         by_node: Dict[str, List[Task]] = {}
         for task, slot in self._slot_of.items():
             by_slot.setdefault(slot, []).append(task)
             by_node.setdefault(slot.node_id, []).append(task)
-        for slot, tasks in by_slot.items():
-            self._tasks_by_slot[slot] = tuple(sorted(tasks))
-        for node_id, tasks in by_node.items():
-            self._tasks_by_node[node_id] = tuple(sorted(tasks))
+        self._tasks_by_slot = {
+            slot: tuple(sorted(tasks)) for slot, tasks in by_slot.items()
+        }
+        self._tasks_by_node = {
+            node_id: tuple(sorted(tasks)) for node_id, tasks in by_node.items()
+        }
 
     # -- queries -------------------------------------------------------------
 
@@ -59,25 +86,30 @@ class Assignment:
 
     @property
     def tasks(self) -> Tuple[Task, ...]:
-        return tuple(sorted(self._slot_of))
+        if self._sorted_tasks is None:
+            self._sorted_tasks = tuple(sorted(self._slot_of))
+        return self._sorted_tasks
 
     @property
     def slots(self) -> Tuple[WorkerSlot, ...]:
-        return tuple(sorted(self._tasks_by_slot))
+        return tuple(sorted(self._by_slot()))
 
     @property
     def nodes(self) -> Tuple[str, ...]:
-        return tuple(sorted(self._tasks_by_node))
+        return tuple(sorted(self._by_node()))
 
     def tasks_on_slot(self, slot: WorkerSlot) -> Tuple[Task, ...]:
-        return self._tasks_by_slot.get(slot, ())
+        return self._by_slot().get(slot, ())
 
     def tasks_on_node(self, node_id: str) -> Tuple[Task, ...]:
-        return self._tasks_by_node.get(node_id, ())
+        return self._by_node().get(node_id, ())
 
     def is_complete(self, topology: Topology) -> bool:
         """True if every task of ``topology`` is assigned."""
-        return set(topology.tasks) == set(self._slot_of)
+        slot_of = self._slot_of
+        if len(topology.tasks) != len(slot_of):
+            return False
+        return all(t in slot_of for t in topology.tasks)
 
     def missing_tasks(self, topology: Topology) -> Tuple[Task, ...]:
         return tuple(sorted(set(topology.tasks) - set(self._slot_of)))
@@ -120,7 +152,8 @@ class Assignment:
         return hash((self.topology_id, frozenset(self._slot_of.items())))
 
     def __repr__(self) -> str:
+        nodes = {slot.node_id for slot in self._slot_of.values()}
         return (
             f"Assignment({self.topology_id!r}, tasks={len(self._slot_of)}, "
-            f"nodes={len(self._tasks_by_node)})"
+            f"nodes={len(nodes)})"
         )

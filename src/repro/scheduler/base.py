@@ -93,10 +93,16 @@ class IScheduler(abc.ABC):
         newly = {}
         for topo in topologies:
             before = existing.get(topo.topology_id) if existing else None
-            before_tasks = set(before.tasks) if before else set()
             after = assignments.get(topo.topology_id)
-            after_tasks = set(after.tasks) if after else set()
-            newly[topo.topology_id] = len(after_tasks - before_tasks)
+            if after is None:
+                newly[topo.topology_id] = 0
+                continue
+            if before is None:
+                newly[topo.topology_id] = len(after)
+                continue
+            newly[topo.topology_id] = sum(
+                1 for task in after.as_dict() if not before.has(task)
+            )
         return SchedulingRound(
             scheduler=self.name,
             topologies=[t.topology_id for t in topologies],

@@ -11,8 +11,9 @@ different machines, and no resource demand or availability is consulted.
 
 from __future__ import annotations
 
+import weakref
 import zlib
-from typing import Dict, List, Mapping, Optional, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.cluster.cluster import Cluster
 from repro.cluster.node import WorkerSlot
@@ -35,13 +36,29 @@ def _node_shuffle_key(node_id: str) -> int:
     return zlib.crc32(node_id.encode())
 
 
+#: Slot-ordering cache: the interleaved ordering depends only on the set
+#: of alive nodes (each node's slots are fixed at construction), yet the
+#: crc32 sort used to run on every scheduling round.  Entries are keyed
+#: weakly by cluster and validated against the current alive-node ids, so
+#: node failures and repairs invalidate naturally.
+_SlotOrderEntry = Tuple[Tuple[str, ...], List[WorkerSlot]]
+_SLOT_ORDER_CACHE: "weakref.WeakKeyDictionary[Cluster, _SlotOrderEntry]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
 def interleaved_slots(cluster: Cluster) -> List[WorkerSlot]:
     """All alive slots ordered port-major, node-minor — Storm's
     ``sortSlots``: the first N slots are on N distinct nodes whenever the
     cluster has at least N nodes.  Nodes are visited in a stable
     pseudo-random order (see :func:`_node_shuffle_key`)."""
+    alive = cluster.alive_nodes
+    alive_ids = tuple(n.node_id for n in alive)
+    cached = _SLOT_ORDER_CACHE.get(cluster)
+    if cached is not None and cached[0] == alive_ids:
+        return list(cached[1])
     node_order = sorted(
-        cluster.alive_nodes, key=lambda n: (_node_shuffle_key(n.node_id), n.node_id)
+        alive, key=lambda n: (_node_shuffle_key(n.node_id), n.node_id)
     )
     by_node: Dict[str, List[WorkerSlot]] = {
         node.node_id: sorted(node.slots, key=lambda s: s.port)
@@ -54,7 +71,8 @@ def interleaved_slots(cluster: Cluster) -> List[WorkerSlot]:
             slots = by_node[node.node_id]
             if level < len(slots):
                 ordered.append(slots[level])
-    return ordered
+    _SLOT_ORDER_CACHE[cluster] = (alive_ids, ordered)
+    return list(ordered)
 
 
 class DefaultScheduler(IScheduler):
@@ -92,14 +110,13 @@ class DefaultScheduler(IScheduler):
         #: topologies in the round — successive topologies start where the
         #: previous one left off, like successive EvenScheduler calls.
         cursor = 0
+        alive = {n.node_id for n in cluster.alive_nodes}
         result: Dict[str, Assignment] = {}
         for topology in topologies:
             prior = existing.get(topology.topology_id)
             surviving: Dict[Task, WorkerSlot] = {}
             if prior is not None:
-                alive = {n.node_id for n in cluster.alive_nodes}
-                for task in prior.tasks:
-                    slot = prior.slot_of(task)
+                for task, slot in prior.as_dict().items():
                     if slot.node_id in alive:
                         surviving[task] = slot
             missing = [t for t in topology.tasks if t not in surviving]

@@ -14,12 +14,13 @@ class so a scheduling round can be reconciled or replayed atomically.
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Optional, Set, Tuple
+from typing import Dict, List, Mapping, Optional, Set
 
 from repro.cluster.cluster import Cluster
 from repro.cluster.node import Node, WorkerSlot
 from repro.errors import InsufficientResourcesError, SchedulingError
 from repro.scheduler.assignment import Assignment
+from repro.scheduler.packed import PackedClusterState
 from repro.topology.task import Task, task_label
 from repro.topology.topology import Topology
 
@@ -35,6 +36,19 @@ class GlobalState:
         self._placements: Dict[Task, WorkerSlot] = {}
         #: slot -> topology ids using it
         self._slot_users: Dict[WorkerSlot, Set[str]] = {}
+        #: lazily-built flat-array resource view (see :attr:`packed`)
+        self._packed: Optional[PackedClusterState] = None
+
+    @property
+    def packed(self) -> PackedClusterState:
+        """Flat per-dimension resource arrays over the alive nodes,
+        built on first use and kept in sync by :meth:`place` /
+        :meth:`unplace`.  Valid for the lifetime of this state object —
+        i.e. one scheduling round (Nimbus rebuilds ``GlobalState`` every
+        round, so liveness changes between rounds get a fresh view)."""
+        if self._packed is None:
+            self._packed = PackedClusterState(self.cluster)
+        return self._packed
 
     # -- construction ------------------------------------------------------
 
@@ -65,7 +79,7 @@ class GlobalState:
                 if not node.alive:
                     continue
                 demand = topology.task_demand(task) if topology else None
-                already_reserved = task_label(task) in node.reservations
+                already_reserved = node.has_reservation(task_label(task))
                 if reserve and demand is not None and not already_reserved:
                     try:
                         node.reserve(task_label(task), demand)
@@ -159,6 +173,8 @@ class GlobalState:
         node = self.cluster.node(slot.node_id)
         if demand is not None:
             node.reserve(task_label(task), demand)
+            if self._packed is not None:
+                self._packed.refresh_node(node)
         self._placements[task] = slot
         self._slot_users.setdefault(slot, set()).add(task.topology_id)
 
@@ -168,8 +184,10 @@ class GlobalState:
         if slot is None:
             raise SchedulingError(f"task {task} is not placed")
         node = self.cluster.node(slot.node_id)
-        if task_label(task) in node.reservations:
+        if node.has_reservation(task_label(task)):
             node.release(task_label(task))
+            if self._packed is not None:
+                self._packed.refresh_node(node)
         remaining = any(
             t.topology_id == task.topology_id and s == slot
             for t, s in self._placements.items()

@@ -10,7 +10,8 @@ them onto nearby nodes — the paper's first desired property.
 from __future__ import annotations
 
 import enum
-from typing import Callable, Dict, List, Sequence
+import weakref
+from typing import Callable, Dict, List, Sequence, Tuple
 
 from repro.topology.task import Task
 from repro.topology.topology import Topology
@@ -64,11 +65,35 @@ def interleave_component_tasks(
     return ordering
 
 
+#: Per-topology ordering cache.  A topology's structure (components,
+#: parallelism, edges) is frozen once built, so the linearisation never
+#: changes; schedulers call this every round, which used to redo the BFS
+#: and the interleaving sweep each time.  Weak keys let topologies be
+#: collected normally.
+_OrderEntry = Dict[TaskOrderingStrategy, Tuple[Task, ...]]
+_ORDER_CACHE: "weakref.WeakKeyDictionary[Topology, _OrderEntry]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
 def ordered_tasks(
     topology: Topology,
     strategy: TaskOrderingStrategy = TaskOrderingStrategy.BFS,
 ) -> List[Task]:
     """The full task-selection procedure: component linearisation followed
-    by round-robin task interleaving."""
-    component_order = _ORDERERS[strategy](topology)
-    return interleave_component_tasks(topology, component_order)
+    by round-robin task interleaving.
+
+    The ordering depends only on immutable topology structure, so it is
+    memoised per (topology, strategy); a fresh list is returned each call
+    so callers may mutate their copy freely.
+    """
+    per_topology = _ORDER_CACHE.get(topology)
+    if per_topology is None:
+        per_topology = {}
+        _ORDER_CACHE[topology] = per_topology
+    cached = per_topology.get(strategy)
+    if cached is None:
+        component_order = _ORDERERS[strategy](topology)
+        cached = tuple(interleave_component_tasks(topology, component_order))
+        per_topology[strategy] = cached
+    return list(cached)

@@ -9,12 +9,13 @@ throughput to explain *why* one scheduler beats another.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.cluster.cluster import Cluster
 from repro.cluster.network import DistanceLevel
-from repro.cluster.resources import ResourceVector
+from repro.cluster.resources import ResourceSchema, ResourceVector
+from repro.errors import SchemaMismatchError
 from repro.scheduler.assignment import Assignment
 from repro.topology.topology import Topology
 
@@ -78,12 +79,23 @@ def evaluate_assignment(
     pairs = _edge_task_pairs(topology)
     total_distance = 0.0
     by_level: Dict[DistanceLevel, int] = {level: 0 for level in DistanceLevel}
+    # Pair counts grow quadratically in parallelism, but distinct slot
+    # pairs do not: memoise the level per (slot, slot) within this call.
+    slot_of = assignment.slot_of
+    level_cache: Dict[Tuple[object, object], DistanceLevel] = {}
+    distance_of = {
+        level: cluster.topography.distance(level) for level in DistanceLevel
+    }
     for producer, consumer in pairs:
-        slot_p = assignment.slot_of(producer)
-        slot_c = assignment.slot_of(consumer)
-        level = cluster.slot_distance_level(slot_p, slot_c)
+        slot_p = slot_of(producer)
+        slot_c = slot_of(consumer)
+        key = (slot_p, slot_c)
+        level = level_cache.get(key)
+        if level is None:
+            level = cluster.slot_distance_level(slot_p, slot_c)
+            level_cache[key] = level
         by_level[level] += 1
-        total_distance += cluster.topography.distance(level)
+        total_distance += distance_of[level]
 
     load = aggregate_node_load(
         [(topology, assignment)]
@@ -120,14 +132,42 @@ def evaluate_assignment(
 def aggregate_node_load(
     placements: Sequence[Tuple[Topology, Assignment]],
 ) -> Dict[str, ResourceVector]:
-    """Summed declared demand per node across the given placements."""
-    load: Dict[str, ResourceVector] = {}
+    """Summed declared demand per node across the given placements.
+
+    Accumulates into flat per-dimension floats (one demand lookup per
+    component, no intermediate vectors); additions happen per node in
+    task-sorted order per dimension, exactly like the vector-sum
+    formulation, so results are bit-identical.
+    """
+    totals: Dict[str, List[float]] = {}
+    schemas: Dict[str, ResourceSchema] = {}
     for topology, assignment in placements:
+        demand_values: Dict[
+            str, Tuple[Tuple[float, ...], ResourceSchema]
+        ] = {}
         for task in assignment.tasks:
+            component = task.component
+            cached = demand_values.get(component)
+            if cached is None:
+                demand = topology.task_demand(task)
+                cached = (demand.values, demand.schema)
+                demand_values[component] = cached
+            values, schema = cached
             node_id = assignment.node_of(task)
-            demand = topology.task_demand(task)
-            if node_id in load:
-                load[node_id] = load[node_id] + demand
+            acc = totals.get(node_id)
+            if acc is None:
+                totals[node_id] = list(values)
+                schemas[node_id] = schema
             else:
-                load[node_id] = demand
-    return load
+                node_schema = schemas[node_id]
+                if node_schema is not schema and node_schema != schema:
+                    raise SchemaMismatchError(
+                        f"cannot combine vectors from schemas "
+                        f"{node_schema!r} and {schema!r}"
+                    )
+                for d, value in enumerate(values):
+                    acc[d] += value
+    return {
+        node_id: ResourceVector(schemas[node_id], values)
+        for node_id, values in totals.items()
+    }

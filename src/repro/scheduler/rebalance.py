@@ -87,8 +87,12 @@ class OnlineRebalancer:
         """The most CPU-hungry task on the hot node."""
         best: Optional[Tuple[float, Topology, Task]] = None
         for topology, assignment in placements.values():
+            cpu_of: Dict[str, float] = {}
             for task in assignment.tasks_on_node(node_id):
-                load = topology.task_demand(task).cpu
+                load = cpu_of.get(task.component)
+                if load is None:
+                    load = topology.task_demand(task).cpu
+                    cpu_of[task.component] = load
                 if best is None or load > best[0]:
                     best = (load, topology, task)
         if best is None:
@@ -107,7 +111,7 @@ class OnlineRebalancer:
         they are.
         """
         node = self.cluster.node(hot)
-        if task_label(task) in node.reservations:
+        if node.has_reservation(task_label(task)):
             node.release(task_label(task))
         remaining = Assignment(
             topology.topology_id,

@@ -18,6 +18,19 @@ Soft constraints (CPU, bandwidth) may be over-committed; minimising the
 squared availability-demand gap simultaneously avoids both waste
 (availability far above demand) and heavy over-commit (availability far
 below demand).
+
+The hot path runs on the packed flat-array view of the cluster
+(:class:`~repro.scheduler.packed.PackedClusterState`): the per-candidate
+distance loop reads plain per-dimension float lists, weights and
+normalisation factors are hoisted once per (topology, schema), ref-node
+scores and network-distance rows are memoised per round and invalidated
+incrementally on placement, and nodes that can no longer host *any*
+pending task are pruned from the candidate list instead of being
+re-scanned per task.  The arithmetic performs bit-identical operations
+in the same order as the per-vector formulation (kept as
+:meth:`RStormScheduler.distance` and verified by the differential suite
+in ``tests/scheduler/test_differential.py``), so assignments are
+byte-identical to the unpacked implementation.
 """
 
 from __future__ import annotations
@@ -27,14 +40,14 @@ from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.cluster.cluster import Cluster
-from repro.cluster.node import Node, WorkerSlot
-from repro.cluster.rack import Rack
-from repro.cluster.resources import BANDWIDTH, ResourceVector
+from repro.cluster.node import Node
+from repro.cluster.resources import BANDWIDTH, ResourceSchema, ResourceVector
 from repro.errors import SchedulingError
 from repro.scheduler.assignment import Assignment
 from repro.scheduler.base import IScheduler
 from repro.scheduler.global_state import GlobalState
 from repro.scheduler.ordering import TaskOrderingStrategy, ordered_tasks
+from repro.scheduler.packed import PackedClusterState
 from repro.topology.task import Task
 from repro.topology.topology import Topology
 
@@ -102,6 +115,12 @@ class RStormScheduler(IScheduler):
         self.use_network_distance = use_network_distance
         self.prefer_no_overcommit = prefer_no_overcommit
         self.best_effort = best_effort
+        #: (schema, weights) -> ((dim index, weight), ...) over the
+        #: non-bandwidth dimensions, hoisted out of the distance loop.
+        self._dim_weight_cache: Dict[
+            Tuple[ResourceSchema, DistanceWeights],
+            Tuple[Tuple[int, float], ...],
+        ] = {}
 
     # -- IScheduler ---------------------------------------------------------
 
@@ -138,27 +157,8 @@ class RStormScheduler(IScheduler):
         ref_node = self._initial_ref_node(topology, cluster, state)
         placed_this_round: List[Task] = []
         try:
-            for task in pending:
-                demand = topology.task_demand(task)
-                node = self._select_node(cluster, demand, ref_node)
-                if node is None:
-                    if self.best_effort:
-                        continue
-                    raise SchedulingError(
-                        f"no feasible node for task {task} "
-                        f"(demand {demand!r}): every alive node violates a "
-                        f"hard constraint",
-                        unassigned=[
-                            t for t in pending if not state.is_placed(t)
-                        ],
-                    )
-                if ref_node is None:
-                    ref_node = node
-                slot = state.slot_for_topology_on_node(
-                    topology.topology_id, node
-                )
-                state.place(task, slot, demand)
-                placed_this_round.append(task)
+            self._place_pending(topology, state, pending, ref_node,
+                                placed_this_round)
         except SchedulingError:
             # Assignment is atomic per topology (paper Section 4.1): undo
             # this topology's partial placements before propagating.
@@ -166,13 +166,123 @@ class RStormScheduler(IScheduler):
                 state.unplace(task)
             raise
 
+    def _place_pending(
+        self,
+        topology: Topology,
+        state: GlobalState,
+        pending: List[Task],
+        ref_node: Optional[Node],
+        placed_this_round: List[Task],
+    ) -> None:
+        """Greedy node selection over the packed cluster view."""
+        view = state.packed
+        demand_of: Dict[str, ResourceVector] = {}
+        for task in pending:
+            component = task.component
+            if component not in demand_of:
+                demand = topology.task_demand(task)
+                view.check_schema(demand)
+                demand_of[component] = demand
+
+        avail = view.avail
+        nodes = view.nodes
+        hard = view.hard_dims
+        num_dims = view.num_dims
+        best_effort = self.best_effort
+        prefer = self.prefer_no_overcommit
+        topology_id = topology.topology_id
+
+        # Candidate structure: alive-node indices still able to host at
+        # least one pending task.  ``floors[d]`` is the smallest demand
+        # of any pending task in hard dimension ``d``; a node below a
+        # floor is infeasible for *every* pending task, and availability
+        # only shrinks within the topology's round, so it is pruned
+        # permanently instead of being rescanned per task.
+        floors: Dict[int, float] = {
+            d: min(demand_of[t.component].values[d] for t in pending)
+            for d in hard
+        }
+        candidates = [
+            i
+            for i in range(len(nodes))
+            if all(avail[d][i] >= floors[d] for d in hard)
+        ]
+
+        for task in pending:
+            demand = demand_of[task.component]
+            dvals = demand.values
+            # Hard-constraint filter (the paper's H_theta > H_tau guard).
+            feasible: List[int] = []
+            append = feasible.append
+            if len(hard) == 1:
+                d0 = hard[0]
+                a0 = avail[d0]
+                need0 = dvals[d0]
+                for i in candidates:
+                    if a0[i] >= need0:
+                        append(i)
+            else:
+                for i in candidates:
+                    for d in hard:
+                        if avail[d][i] < dvals[d]:
+                            break
+                    else:
+                        append(i)
+            if not feasible:
+                if best_effort:
+                    continue
+                raise SchedulingError(
+                    f"no feasible node for task {task} "
+                    f"(demand {demand!r}): every alive node violates a "
+                    f"hard constraint",
+                    unassigned=[
+                        t for t in pending if not state.is_placed(t)
+                    ],
+                )
+            pool = feasible
+            if prefer:
+                uncommitted: List[int] = []
+                uappend = uncommitted.append
+                for i in feasible:
+                    for d in range(num_dims):
+                        if avail[d][i] < dvals[d]:
+                            break
+                    else:
+                        uappend(i)
+                if uncommitted:
+                    pool = uncommitted
+
+            if ref_node is None:
+                best_i = self._find_ref_index(view, pool)
+                if best_i is None:
+                    # Defensive fallback (an empty alive set cannot reach
+                    # here): anchor the distance on the first feasible
+                    # node, like the unpacked formulation.
+                    best_i = self._min_distance_index(
+                        view, pool, dvals, nodes[pool[0]]
+                    )
+            else:
+                best_i = self._min_distance_index(
+                    view, pool, dvals, ref_node
+                )
+            node = nodes[best_i]
+            if ref_node is None:
+                ref_node = node
+            slot = state.slot_for_topology_on_node(topology_id, node)
+            state.place(task, slot, demand)
+            placed_this_round.append(task)
+            for d in hard:
+                if avail[d][best_i] < floors[d]:
+                    candidates.remove(best_i)
+                    break
+
     def _initial_ref_node(
         self, topology: Topology, cluster: Cluster, state: GlobalState
     ) -> Optional[Node]:
         """Resume anchoring for partially-scheduled topologies: the node
         already hosting the most of this topology's tasks.  Fresh
-        topologies anchor lazily via :meth:`_find_ref_node` once the first
-        task's feasible set is known."""
+        topologies anchor lazily via :meth:`_find_ref_index` once the
+        first task's feasible set is known."""
         counts: Dict[str, int] = {}
         for task in state.placed_tasks(topology.topology_id):
             node_id = state.node_of(task)
@@ -185,85 +295,126 @@ class RStormScheduler(IScheduler):
 
     # -- node selection (Algorithm 4) -----------------------------------------
 
-    def _select_node(
+    def _dim_weights(
+        self, schema: Optional[ResourceSchema]
+    ) -> Tuple[Tuple[int, float], ...]:
+        """``(dimension index, weight)`` pairs over the non-bandwidth
+        dimensions in schema order, computed once per (schema, weights)
+        instead of per candidate node per dimension."""
+        if schema is None:
+            return ()
+        key = (schema, self.weights)
+        cached = self._dim_weight_cache.get(key)
+        if cached is None:
+            overrides = {
+                "memory_mb": self.weights.memory,
+                "cpu": self.weights.cpu,
+            }
+            cached = tuple(
+                (d, overrides.get(dim.name, dim.default_weight))
+                for d, dim in enumerate(schema.dimensions)
+                if dim.name != BANDWIDTH
+            )
+            self._dim_weight_cache[key] = cached
+        return cached
+
+    def _min_distance_index(
         self,
-        cluster: Cluster,
-        demand: ResourceVector,
-        ref_node: Optional[Node],
-    ) -> Optional[Node]:
-        feasible = [n for n in cluster.alive_nodes if n.can_host(demand)]
-        if not feasible:
-            return None
-        if self.prefer_no_overcommit:
-            uncommitted = [
-                n for n in feasible if n.available.dominates(demand)
-            ]
-            if uncommitted:
-                feasible = uncommitted
-        if ref_node is None:
-            anchor = self._find_ref_node(cluster, feasible)
-            if anchor is not None:
-                return anchor
-            ref_node = feasible[0]
+        view: PackedClusterState,
+        pool: List[int],
+        dvals: Tuple[float, ...],
+        ref_node: Node,
+    ) -> int:
+        """The Distance procedure of Algorithm 4 fused over the packed
+        candidate pool; returns the index of the distance-minimal node
+        (ties broken by node id, exactly like ``min`` over
+        ``(distance, node_id)`` keys)."""
+        avail = view.avail
+        caps = view.caps
+        node_ids = view.node_ids
+        net_row = view.dist_row(ref_node.node_id)
+        dim_weights = self._dim_weights(view.schema)
+        w_net = self.weights.network
+        use_net = self.use_network_distance
+        normalise = self.normalise_gaps
+        sqrt = math.sqrt
 
-        def sort_key(node: Node) -> Tuple[float, str]:
-            net = cluster.node_distance(node.node_id, ref_node.node_id)
-            return (self.distance(node, demand, net), node.node_id)
-
-        return min(feasible, key=sort_key)
+        best_i = pool[0]
+        best_dist: Optional[float] = None
+        best_id = ""
+        for i in pool:
+            total = 0.0
+            for d, w in dim_weights:
+                gap = avail[d][i] - dvals[d]
+                if normalise:
+                    cap = caps[d][i]
+                    gap = gap / cap if cap > 0 else 0.0
+                total += w * gap * gap
+            if use_net:
+                total += w_net * net_row[i]
+            dist = sqrt(total if total > 0.0 else 0.0)
+            if (
+                best_dist is None
+                or dist < best_dist
+                or (dist == best_dist and node_ids[i] < best_id)
+            ):
+                best_dist = dist
+                best_id = node_ids[i]
+                best_i = i
+        return best_i
 
     @staticmethod
-    def _find_ref_node(
-        cluster: Cluster, feasible: Sequence[Node]
-    ) -> Optional[Node]:
-        """The paper's lines 6-9: the most-available node inside the
-        most-available rack (restricted to nodes that can host the task).
+    def _find_ref_index(
+        view: PackedClusterState, pool: List[int]
+    ) -> Optional[int]:
+        """The paper's lines 6-9 on the packed view: the most-available
+        node inside the most-available rack (restricted to the feasible
+        pool).
 
         "Most resources" compares absolute availability, with each
         dimension scaled by the cluster-wide maximum capacity so a
         megabyte-dominated sum does not drown the CPU dimension, and a
-        big empty machine outranks a small empty one.
+        big empty machine outranks a small empty one.  Node scores are
+        cached on the view and invalidated incrementally on placement.
         """
-        feasible_ids = {n.node_id for n in feasible}
-        alive = cluster.alive_nodes
-        if not alive:
+        if not view.nodes:
             return None
-        schema = alive[0].capacity.schema
-        scale = {
-            dim: max(node.capacity[dim] for node in alive) or 1.0
-            for dim in schema.names
-        }
-
-        def node_score(node: Node) -> float:
-            return sum(
-                node.available[dim] / scale[dim] for dim in schema.names
-            )
-
+        scores = view.scores
+        node_ids = view.node_ids
+        pool_set = set(pool)
         racks = sorted(
-            cluster.racks,
-            key=lambda r: (
-                -sum(node_score(n) for n in r.alive_nodes),
-                r.rack_id,
-            ),
+            view.rack_rows,
+            key=lambda row: (-sum(scores[i] for i in row[1]), row[0]),
         )
-        for rack in racks:
-            candidates = [n for n in rack.alive_nodes if n.node_id in feasible_ids]
-            if candidates:
-                return min(
-                    candidates, key=lambda n: (-node_score(n), n.node_id)
-                )
+        for _, row in racks:
+            best_i: Optional[int] = None
+            best_key: Optional[Tuple[float, str]] = None
+            for i in row:
+                if i in pool_set:
+                    key = (-scores[i], node_ids[i])
+                    if best_key is None or key < best_key:
+                        best_key = key
+                        best_i = i
+            if best_i is not None:
+                return best_i
         return None
 
     def distance(
         self, node: Node, demand: ResourceVector, net_distance: float
     ) -> float:
-        """The Distance procedure of Algorithm 4.
+        """The Distance procedure of Algorithm 4 — reference (unpacked)
+        formulation.
 
         ``sqrt(w_m * gap_mem^2 + w_c * gap_cpu^2 + w_b * netdist(ref, node))``
         with gaps optionally normalised by node capacity.  Generalised
         schemas contribute every non-bandwidth dimension, weighted by the
         dimension's default weight (memory/cpu weights override the
         standard dimensions).
+
+        The scheduling hot path uses :meth:`_min_distance_index`, which
+        performs these operations in the same order over the packed
+        arrays; this method remains the executable specification and the
+        two are held identical by the differential test suite.
 
         Args:
             node: Candidate node (already hard-constraint feasible).

@@ -9,7 +9,7 @@ schedulers are visible at a glance in terminals, logs and docs.
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 from repro.cluster.cluster import Cluster
 from repro.scheduler.assignment import Assignment

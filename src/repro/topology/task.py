@@ -34,6 +34,20 @@ class Task:
     instance: int
     task_id: int
 
+    def __post_init__(self) -> None:
+        # Tasks are dictionary keys throughout the scheduling data path
+        # (placements, assignments, reservations); hashing the field
+        # tuple on every lookup dominated profile time, so the hash is
+        # computed once.  Safe because every field is immutable.
+        object.__setattr__(
+            self,
+            "_hash",
+            hash((self.topology_id, self.component, self.instance, self.task_id)),
+        )
+
+    def __hash__(self) -> int:
+        return self._hash  # type: ignore[attr-defined]
+
     def __str__(self) -> str:
         return f"{self.topology_id}/{self.component}[{self.instance}]"
 

@@ -131,6 +131,121 @@ def test_check_fails_on_event_divergence(fake_registry, tmp_path, capsys):
     assert "events diverged" in capsys.readouterr().err
 
 
+@pytest.fixture()
+def sched_registry(monkeypatch):
+    registry = {
+        "sched-fast": Benchmark(
+            name="sched-fast",
+            description="scheduler probe",
+            prepare=lambda: (lambda: 10),
+            repeats=2,
+        ),
+        "other": Benchmark(
+            name="other",
+            description="non-scheduler probe",
+            prepare=lambda: (lambda: 5),
+            repeats=2,
+        ),
+    }
+    monkeypatch.setattr(cli, "REGISTRY", registry)
+    return registry
+
+
+def test_sched_summary_written_for_sched_probes(
+    sched_registry, tmp_path, capsys
+):
+    summary = tmp_path / "BENCH_sched.json"
+    code = cli.main(
+        [
+            "sched-fast",
+            "other",
+            "--out",
+            str(tmp_path / "out"),
+            "--baseline",
+            str(tmp_path / "missing"),
+            "--summary",
+            str(summary),
+        ]
+    )
+    assert code == 0
+    payload = json.loads(summary.read_text())
+    assert set(payload["probes"]) == {"sched-fast"}
+    probe = payload["probes"]["sched-fast"]
+    assert probe["events"] == 10
+    assert probe["speedup_vs_baseline"] is None
+    assert "scheduler summary" in capsys.readouterr().out
+
+
+def test_sched_summary_reports_speedup_vs_baseline(
+    sched_registry, tmp_path
+):
+    baseline = tmp_path / "baseline"
+    baseline.mkdir()
+    payload = {
+        "schema": 1,
+        "name": "sched-fast",
+        "repeats": 2,
+        "times_s": [1000.0, 1000.0],
+        "median_s": 1000.0,
+        "p90_s": 1000.0,
+        "events": 10,
+        "events_per_sec": 0.01,
+        "peak_rss_kb": 1,
+        "meta": {},
+    }
+    (baseline / result_filename("sched-fast")).write_text(
+        json.dumps(payload)
+    )
+    summary = tmp_path / "BENCH_sched.json"
+    code = cli.main(
+        [
+            "sched-fast",
+            "--out",
+            str(tmp_path / "out"),
+            "--baseline",
+            str(baseline),
+            "--summary",
+            str(summary),
+        ]
+    )
+    assert code == 0
+    probe = json.loads(summary.read_text())["probes"]["sched-fast"]
+    assert probe["speedup_vs_baseline"] > 1.0
+
+
+def test_sched_summary_skipped_without_sched_probes(
+    fake_registry, tmp_path
+):
+    summary = tmp_path / "BENCH_sched.json"
+    assert (
+        cli.main(
+            [
+                "fast",
+                "--out",
+                str(tmp_path / "out"),
+                "--summary",
+                str(summary),
+            ]
+        )
+        == 0
+    )
+    assert not summary.exists()
+
+
+def test_sched_summary_disabled_with_empty_path(sched_registry, tmp_path):
+    code = cli.main(
+        [
+            "sched-fast",
+            "--out",
+            str(tmp_path / "out"),
+            "--summary",
+            "",
+        ]
+    )
+    assert code == 0
+    assert not (tmp_path / "BENCH_sched.json").exists()
+
+
 def test_repro_cli_dispatches_bench(tmp_path, monkeypatch, capsys):
     # `python -m repro bench --list` routes through the figure CLI.
     from repro.cli import main as repro_main

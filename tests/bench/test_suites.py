@@ -18,6 +18,7 @@ EXPECTED_NAMES = {
     "sched-rstorm",
     "sched-default",
     "sched-aniello",
+    "sched-scale",
     "chaos-replay",
     "fig9-e2e",
 }

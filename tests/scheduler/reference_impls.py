@@ -1,0 +1,535 @@
+"""Frozen reference schedulers — the differential-test oracles.
+
+These are verbatim-behaviour copies of the scheduler implementations as
+they stood *before* the packed-state hot-path optimisation (PR 4).  They
+deliberately re-implement every piece of scheduling-time bookkeeping
+(slot ordering, global placement state, distance computation) with the
+original per-call ``ResourceVector`` arithmetic so that no future
+optimisation of the production code can silently leak into the oracle.
+
+The differential suite (``test_differential.py``) runs each optimised
+scheduler and its reference twin on independently-built but identical
+clusters and asserts the resulting assignments are *equal* — same tasks,
+same worker slots — across random clusters, topologies, multi-topology
+rounds and resume-after-fault rounds.
+
+Do not "optimise" this module.  Its slowness is the point.
+"""
+
+from __future__ import annotations
+
+import math
+import zlib
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.node import Node, WorkerSlot
+from repro.cluster.resources import BANDWIDTH, ResourceVector
+from repro.errors import (
+    InsufficientResourcesError,
+    SchedulingError,
+    TopologyValidationError,
+)
+from repro.scheduler.assignment import Assignment
+from repro.scheduler.rstorm import DistanceWeights
+from repro.topology.task import Task, task_label
+from repro.topology.topology import Topology
+from repro.topology.traversal import (
+    bfs_component_order,
+    dfs_component_order,
+    topological_component_order,
+)
+
+__all__ = [
+    "ReferenceRStormScheduler",
+    "ReferenceDefaultScheduler",
+    "ReferenceAnielloScheduler",
+]
+
+
+# -- Algorithm 3: task selection (frozen copy of scheduler/ordering.py) ------
+
+
+def _interleave_component_tasks(
+    topology: Topology, component_order: Sequence[str]
+) -> List[Task]:
+    remaining: Dict[str, List[Task]] = {
+        name: list(topology.tasks_of(name)) for name in component_order
+    }
+    ordering: List[Task] = []
+    total = sum(len(ts) for ts in remaining.values())
+    while len(ordering) < total:
+        progressed = False
+        for name in component_order:
+            tasks = remaining[name]
+            if tasks:
+                ordering.append(tasks.pop(0))
+                progressed = True
+        if not progressed:  # pragma: no cover - defensive
+            break
+    return ordering
+
+
+_ORDERERS = {
+    "bfs": bfs_component_order,
+    "dfs": dfs_component_order,
+    "topological": topological_component_order,
+}
+
+
+def _ordered_tasks(topology: Topology, strategy: str) -> List[Task]:
+    return _interleave_component_tasks(topology, _ORDERERS[strategy](topology))
+
+
+# -- frozen copy of scheduler/global_state.py --------------------------------
+
+
+class _RefState:
+    """Pre-optimisation ``GlobalState`` semantics, re-implemented."""
+
+    def __init__(self, cluster: Cluster):
+        self.cluster = cluster
+        self._placements: Dict[Task, WorkerSlot] = {}
+        self._slot_users: Dict[WorkerSlot, Set[str]] = {}
+
+    @classmethod
+    def from_assignments(
+        cls,
+        cluster: Cluster,
+        topologies: Mapping[str, Topology],
+        assignments: Mapping[str, Assignment],
+    ) -> "_RefState":
+        state = cls(cluster)
+        for topo_id, assignment in assignments.items():
+            topology = topologies.get(topo_id)
+            for task in assignment.tasks:
+                slot = assignment.slot_of(task)
+                if not cluster.has_node(slot.node_id):
+                    continue
+                node = cluster.node(slot.node_id)
+                if not node.alive:
+                    continue
+                demand = topology.task_demand(task) if topology else None
+                already = task_label(task) in node.reservations
+                if demand is not None and not already:
+                    try:
+                        node.reserve(task_label(task), demand)
+                    except InsufficientResourcesError:
+                        pass
+                state._placements[task] = slot
+                state._slot_users.setdefault(slot, set()).add(
+                    task.topology_id
+                )
+        return state
+
+    def is_placed(self, task: Task) -> bool:
+        return task in self._placements
+
+    def placed_tasks(self, topology_id: str) -> List[Task]:
+        return sorted(
+            t for t in self._placements if t.topology_id == topology_id
+        )
+
+    def node_of(self, task: Task) -> Optional[str]:
+        slot = self._placements.get(task)
+        return slot.node_id if slot else None
+
+    def assignment_for(self, topology_id: str) -> Assignment:
+        return Assignment(
+            topology_id,
+            {
+                t: s
+                for t, s in self._placements.items()
+                if t.topology_id == topology_id
+            },
+        )
+
+    def slot_for_topology_on_node(
+        self, topology_id: str, node: Node
+    ) -> WorkerSlot:
+        for slot in node.slots:
+            if topology_id in self._slot_users.get(slot, set()):
+                return slot
+        for slot in node.slots:
+            if not self._slot_users.get(slot):
+                return slot
+        return min(
+            node.slots,
+            key=lambda s: (len(self._slot_users.get(s, set())), s),
+        )
+
+    def place(self, task: Task, slot: WorkerSlot, demand) -> None:
+        if task in self._placements:
+            raise SchedulingError(f"task {task} is already placed")
+        node = self.cluster.node(slot.node_id)
+        if demand is not None:
+            node.reserve(task_label(task), demand)
+        self._placements[task] = slot
+        self._slot_users.setdefault(slot, set()).add(task.topology_id)
+
+    def unplace(self, task: Task) -> None:
+        slot = self._placements.pop(task, None)
+        if slot is None:
+            raise SchedulingError(f"task {task} is not placed")
+        node = self.cluster.node(slot.node_id)
+        if task_label(task) in node.reservations:
+            node.release(task_label(task))
+        remaining = any(
+            t.topology_id == task.topology_id and s == slot
+            for t, s in self._placements.items()
+        )
+        if not remaining:
+            users = self._slot_users.get(slot)
+            if users:
+                users.discard(task.topology_id)
+                if not users:
+                    del self._slot_users[slot]
+
+
+# -- frozen copy of scheduler/rstorm.py --------------------------------------
+
+
+class ReferenceRStormScheduler:
+    """Pre-optimisation R-Storm (Algorithms 1, 3 and 4), kept verbatim."""
+
+    name = "r-storm-reference"
+
+    def __init__(
+        self,
+        weights: DistanceWeights = DistanceWeights(),
+        ordering: str = "bfs",
+        normalise_gaps: bool = True,
+        use_network_distance: bool = True,
+        prefer_no_overcommit: bool = True,
+        best_effort: bool = False,
+    ):
+        self.weights = weights
+        self.ordering = ordering
+        self.normalise_gaps = normalise_gaps
+        self.use_network_distance = use_network_distance
+        self.prefer_no_overcommit = prefer_no_overcommit
+        self.best_effort = best_effort
+
+    def schedule(
+        self,
+        topologies: Sequence[Topology],
+        cluster: Cluster,
+        existing: Optional[Mapping[str, Assignment]] = None,
+    ) -> Dict[str, Assignment]:
+        topo_by_id = {t.topology_id: t for t in topologies}
+        state = _RefState.from_assignments(
+            cluster, topo_by_id, existing or {}
+        )
+        result: Dict[str, Assignment] = {}
+        for topology in topologies:
+            self._schedule_topology(topology, cluster, state)
+            result[topology.topology_id] = state.assignment_for(
+                topology.topology_id
+            )
+        return result
+
+    def _schedule_topology(
+        self, topology: Topology, cluster: Cluster, state: _RefState
+    ) -> None:
+        pending = [
+            task
+            for task in _ordered_tasks(topology, self.ordering)
+            if not state.is_placed(task)
+        ]
+        if not pending:
+            return
+        ref_node = self._initial_ref_node(topology, cluster, state)
+        placed_this_round: List[Task] = []
+        try:
+            for task in pending:
+                demand = topology.task_demand(task)
+                node = self._select_node(cluster, demand, ref_node)
+                if node is None:
+                    if self.best_effort:
+                        continue
+                    raise SchedulingError(
+                        f"no feasible node for task {task} "
+                        f"(demand {demand!r}): every alive node violates "
+                        f"a hard constraint",
+                        unassigned=[
+                            t for t in pending if not state.is_placed(t)
+                        ],
+                    )
+                if ref_node is None:
+                    ref_node = node
+                slot = state.slot_for_topology_on_node(
+                    topology.topology_id, node
+                )
+                state.place(task, slot, demand)
+                placed_this_round.append(task)
+        except SchedulingError:
+            for task in placed_this_round:
+                state.unplace(task)
+            raise
+
+    def _initial_ref_node(
+        self, topology: Topology, cluster: Cluster, state: _RefState
+    ) -> Optional[Node]:
+        counts: Dict[str, int] = {}
+        for task in state.placed_tasks(topology.topology_id):
+            node_id = state.node_of(task)
+            if node_id is not None:
+                counts[node_id] = counts.get(node_id, 0) + 1
+        if not counts:
+            return None
+        best = max(sorted(counts), key=lambda n: counts[n])
+        return cluster.node(best)
+
+    def _select_node(
+        self,
+        cluster: Cluster,
+        demand: ResourceVector,
+        ref_node: Optional[Node],
+    ) -> Optional[Node]:
+        feasible = [n for n in cluster.alive_nodes if n.can_host(demand)]
+        if not feasible:
+            return None
+        if self.prefer_no_overcommit:
+            uncommitted = [
+                n for n in feasible if n.available.dominates(demand)
+            ]
+            if uncommitted:
+                feasible = uncommitted
+        if ref_node is None:
+            anchor = self._find_ref_node(cluster, feasible)
+            if anchor is not None:
+                return anchor
+            ref_node = feasible[0]
+
+        def sort_key(node: Node) -> Tuple[float, str]:
+            net = cluster.node_distance(node.node_id, ref_node.node_id)
+            return (self.distance(node, demand, net), node.node_id)
+
+        return min(feasible, key=sort_key)
+
+    @staticmethod
+    def _find_ref_node(
+        cluster: Cluster, feasible: Sequence[Node]
+    ) -> Optional[Node]:
+        feasible_ids = {n.node_id for n in feasible}
+        alive = cluster.alive_nodes
+        if not alive:
+            return None
+        schema = alive[0].capacity.schema
+        scale = {
+            dim: max(node.capacity[dim] for node in alive) or 1.0
+            for dim in schema.names
+        }
+
+        def node_score(node: Node) -> float:
+            return sum(
+                node.available[dim] / scale[dim] for dim in schema.names
+            )
+
+        racks = sorted(
+            cluster.racks,
+            key=lambda r: (
+                -sum(node_score(n) for n in r.alive_nodes),
+                r.rack_id,
+            ),
+        )
+        for rack in racks:
+            candidates = [
+                n for n in rack.alive_nodes if n.node_id in feasible_ids
+            ]
+            if candidates:
+                return min(
+                    candidates, key=lambda n: (-node_score(n), n.node_id)
+                )
+        return None
+
+    def distance(
+        self, node: Node, demand: ResourceVector, net_distance: float
+    ) -> float:
+        schema = node.available.schema
+        if self.normalise_gaps:
+            gaps = node.available.normalised_gap(demand, node.capacity)
+        else:
+            gaps = node.available.gap(demand)
+        total = 0.0
+        for dim in schema:
+            if dim.name == BANDWIDTH:
+                continue
+            weight = {
+                "memory_mb": self.weights.memory,
+                "cpu": self.weights.cpu,
+            }.get(dim.name, dim.default_weight)
+            gap = gaps[dim.name]
+            total += weight * gap * gap
+        if self.use_network_distance:
+            total += self.weights.network * net_distance
+        return math.sqrt(max(0.0, total))
+
+
+# -- frozen copy of scheduler/default.py -------------------------------------
+
+
+def _node_shuffle_key(node_id: str) -> int:
+    return zlib.crc32(node_id.encode())
+
+
+def _interleaved_slots(cluster: Cluster) -> List[WorkerSlot]:
+    node_order = sorted(
+        cluster.alive_nodes,
+        key=lambda n: (_node_shuffle_key(n.node_id), n.node_id),
+    )
+    by_node: Dict[str, List[WorkerSlot]] = {
+        node.node_id: sorted(node.slots, key=lambda s: s.port)
+        for node in node_order
+    }
+    ordered: List[WorkerSlot] = []
+    depth = max((len(slots) for slots in by_node.values()), default=0)
+    for level in range(depth):
+        for node in node_order:
+            slots = by_node[node.node_id]
+            if level < len(slots):
+                ordered.append(slots[level])
+    return ordered
+
+
+class ReferenceDefaultScheduler:
+    """Pre-optimisation EvenScheduler reproduction, kept verbatim."""
+
+    name = "default-reference"
+
+    def __init__(self, workers_per_topology: Optional[int] = None):
+        if workers_per_topology is not None and workers_per_topology < 1:
+            raise ValueError("workers_per_topology must be >= 1")
+        self.workers_per_topology = workers_per_topology
+
+    def schedule(
+        self,
+        topologies: Sequence[Topology],
+        cluster: Cluster,
+        existing: Optional[Mapping[str, Assignment]] = None,
+    ) -> Dict[str, Assignment]:
+        existing = dict(existing or {})
+        slots = _interleaved_slots(cluster)
+        if not slots:
+            raise SchedulingError(
+                "no alive worker slots in the cluster",
+                unassigned=[t for topo in topologies for t in topo.tasks],
+            )
+        cursor = 0
+        result: Dict[str, Assignment] = {}
+        for topology in topologies:
+            prior = existing.get(topology.topology_id)
+            surviving: Dict[Task, WorkerSlot] = {}
+            if prior is not None:
+                alive = {n.node_id for n in cluster.alive_nodes}
+                for task in prior.tasks:
+                    slot = prior.slot_of(task)
+                    if slot.node_id in alive:
+                        surviving[task] = slot
+            missing = [t for t in topology.tasks if t not in surviving]
+            if not missing:
+                result[topology.topology_id] = Assignment(
+                    topology.topology_id, surviving
+                )
+                continue
+            num_workers = self.workers_per_topology or len(
+                cluster.alive_nodes
+            )
+            num_workers = max(1, min(num_workers, len(slots)))
+            chosen = [
+                slots[(cursor + i) % len(slots)] for i in range(num_workers)
+            ]
+            cursor = (cursor + num_workers) % len(slots)
+            mapping = dict(surviving)
+            for i, task in enumerate(
+                sorted(missing, key=lambda t: t.task_id)
+            ):
+                mapping[task] = chosen[i % len(chosen)]
+            result[topology.topology_id] = Assignment(
+                topology.topology_id, mapping
+            )
+        return result
+
+
+# -- frozen copy of scheduler/aniello.py -------------------------------------
+
+
+class ReferenceAnielloScheduler:
+    """Pre-optimisation DEBS'13 offline scheduler, kept verbatim."""
+
+    name = "aniello-offline-reference"
+
+    def __init__(self, workers_per_topology: Optional[int] = None):
+        if workers_per_topology is not None and workers_per_topology < 1:
+            raise ValueError("workers_per_topology must be >= 1")
+        self.workers_per_topology = workers_per_topology
+
+    def schedule(
+        self,
+        topologies: Sequence[Topology],
+        cluster: Cluster,
+        existing: Optional[Mapping[str, Assignment]] = None,
+    ) -> Dict[str, Assignment]:
+        existing = dict(existing or {})
+        slots = _interleaved_slots(cluster)
+        if not slots:
+            raise SchedulingError(
+                "no alive worker slots in the cluster",
+                unassigned=[t for topo in topologies for t in topo.tasks],
+            )
+        cursor = 0
+        result: Dict[str, Assignment] = {}
+        for topology in topologies:
+            self._check_acyclic(topology)
+            prior = existing.get(topology.topology_id)
+            surviving: Dict[Task, WorkerSlot] = {}
+            if prior is not None:
+                alive = {n.node_id for n in cluster.alive_nodes}
+                for task in prior.tasks:
+                    slot = prior.slot_of(task)
+                    if slot.node_id in alive:
+                        surviving[task] = slot
+            order = _interleave_component_tasks(
+                topology, topological_component_order(topology)
+            )
+            missing = [t for t in order if t not in surviving]
+            if not missing:
+                result[topology.topology_id] = Assignment(
+                    topology.topology_id, surviving
+                )
+                continue
+            num_workers = self.workers_per_topology or len(
+                cluster.alive_nodes
+            )
+            num_workers = max(1, min(num_workers, len(slots)))
+            chosen = [
+                slots[(cursor + i) % len(slots)] for i in range(num_workers)
+            ]
+            cursor = (cursor + num_workers) % len(slots)
+            mapping = dict(surviving)
+            for i, task in enumerate(missing):
+                mapping[task] = chosen[i % len(chosen)]
+            result[topology.topology_id] = Assignment(
+                topology.topology_id, mapping
+            )
+        return result
+
+    @staticmethod
+    def _check_acyclic(topology: Topology) -> None:
+        in_degree = {name: 0 for name in topology.components}
+        for _, target, _ in topology.edges():
+            in_degree[target] += 1
+        queue = [n for n, d in in_degree.items() if d == 0]
+        seen = 0
+        while queue:
+            name = queue.pop()
+            seen += 1
+            for target in topology.downstream_of(name):
+                in_degree[target] -= 1
+                if in_degree[target] == 0:
+                    queue.append(target)
+        if seen != len(in_degree):
+            raise TopologyValidationError(
+                f"topology {topology.topology_id!r} is cyclic; the Aniello "
+                "offline scheduler only supports acyclic topologies"
+            )

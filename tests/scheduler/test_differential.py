@@ -1,0 +1,399 @@
+"""Differential tests: optimised schedulers vs frozen reference oracles.
+
+The packed-array fast paths (``repro.scheduler.packed`` and friends) are
+pure performance work — the PR's contract is that every scheduler
+produces **byte-identical assignments** to the pre-optimisation
+implementations.  ``reference_impls`` preserves those implementations
+verbatim; these tests run both sides over fixed-seed and
+property-generated scenarios (fresh clusters, concurrent topologies,
+configuration sweeps, resume-after-fault rounds, generalised schemas)
+and require exact equality of the resulting assignment maps.
+"""
+
+import pytest
+
+from repro.cluster import Cluster, Node, Rack
+from repro.cluster.builders import emulab_testbed, uniform_cluster
+from repro.cluster.resources import (
+    ConstraintKind,
+    ResourceDimension,
+    ResourceSchema,
+)
+from repro.errors import SchedulingError
+from repro.scheduler.aniello import AnielloOfflineScheduler
+from repro.scheduler.default import DefaultScheduler
+from repro.scheduler.ordering import TaskOrderingStrategy
+from repro.scheduler.rstorm import DistanceWeights, RStormScheduler
+from repro.topology.builder import TopologyBuilder
+from repro.workloads.generator import TopologySpec, random_topology
+from repro.workloads.micro import micro_topology
+
+from tests.scheduler.reference_impls import (
+    ReferenceAnielloScheduler,
+    ReferenceDefaultScheduler,
+    ReferenceRStormScheduler,
+)
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+
+def as_map(assignments):
+    """Assignment dict -> comparable {topology: {task_id: "node:port"}}."""
+    return {
+        tid: {t.task_id: str(a.slot_of(t)) for t in a.tasks}
+        for tid, a in assignments.items()
+    }
+
+
+def small_cluster(racks=2, nodes_per_rack=3, memory=2048.0, cpu=200.0):
+    schema = ResourceSchema.storm_default()
+    return uniform_cluster(
+        nodes_per_rack=nodes_per_rack,
+        racks=racks,
+        capacity=schema.vector(
+            memory_mb=memory, cpu=cpu, bandwidth_mbps=100.0
+        ),
+    )
+
+
+def run_both(make_cluster, topologies, optimised, reference, existing=None):
+    """Run both schedulers on *independent but identical* clusters (each
+    side mutates reservations) and return both assignment maps."""
+    got = optimised.schedule(topologies, make_cluster(), existing)
+    want = reference.schedule(topologies, make_cluster(), existing)
+    return got, want
+
+
+def assert_identical(make_cluster, topologies, optimised, reference, existing=None):
+    """Both schedulers agree exactly: same assignments, or both reject
+    the scenario with :class:`SchedulingError`."""
+    try:
+        got = optimised.schedule(topologies, make_cluster(), existing)
+    except SchedulingError:
+        with pytest.raises(SchedulingError):
+            reference.schedule(topologies, make_cluster(), existing)
+        return
+    want = reference.schedule(topologies, make_cluster(), existing)
+    assert as_map(got) == as_map(want)
+
+
+SEEDS = (0, 1, 7, 13, 42, 99, 1234)
+
+
+class TestRStormDifferential:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_random_topologies_identical(self, seed):
+        topologies = [
+            random_topology(seed * 10 + i, name=f"t{seed}-{i}")
+            for i in range(3)
+        ]
+
+        def roomy():
+            return small_cluster(
+                racks=3, nodes_per_rack=4, memory=8192.0, cpu=400.0
+            )
+
+        got, want = run_both(
+            roomy,
+            topologies,
+            RStormScheduler(),
+            ReferenceRStormScheduler(),
+        )
+        assert as_map(got) == as_map(want)
+
+    @pytest.mark.parametrize("kind", ["linear", "diamond", "star"])
+    @pytest.mark.parametrize("profile", ["compute", "network"])
+    def test_micro_topologies_on_emulab(self, kind, profile):
+        topologies = [micro_topology(kind, profile)]
+        got, want = run_both(
+            emulab_testbed,
+            topologies,
+            RStormScheduler(),
+            ReferenceRStormScheduler(),
+        )
+        assert as_map(got) == as_map(want)
+
+    @pytest.mark.parametrize(
+        "config",
+        [
+            dict(normalise_gaps=False),
+            dict(use_network_distance=False),
+            dict(prefer_no_overcommit=False),
+            dict(weights=DistanceWeights(memory=2.0, cpu=0.25, network=3.0)),
+            dict(ordering=TaskOrderingStrategy.DFS),
+            dict(ordering=TaskOrderingStrategy.TOPOLOGICAL),
+        ],
+        ids=lambda c: next(iter(c)),
+    )
+    def test_config_sweep_identical(self, config):
+        ref_config = dict(config)
+        if "ordering" in ref_config:
+            ref_config["ordering"] = ref_config["ordering"].value
+        topologies = [
+            random_topology(5, name="sweep-a"),
+            random_topology(6, name="sweep-b"),
+        ]
+
+        def roomy():
+            return small_cluster(
+                racks=2, nodes_per_rack=4, memory=8192.0, cpu=400.0
+            )
+
+        got, want = run_both(
+            roomy,
+            topologies,
+            RStormScheduler(**config),
+            ReferenceRStormScheduler(**ref_config),
+        )
+        assert as_map(got) == as_map(want)
+
+    def test_best_effort_partial_identical(self):
+        # Memory-starved cluster: only some tasks fit; the partial
+        # assignments (and which tasks are left out) must agree.
+        def tight():
+            return small_cluster(racks=1, nodes_per_rack=2, memory=512.0)
+
+        topologies = [random_topology(3, name="tight")]
+        got, want = run_both(
+            tight,
+            topologies,
+            RStormScheduler(best_effort=True),
+            ReferenceRStormScheduler(best_effort=True),
+        )
+        assert as_map(got) == as_map(want)
+
+    def test_infeasible_raises_on_both(self):
+        def tiny():
+            return small_cluster(racks=1, nodes_per_rack=1, memory=32.0)
+
+        topologies = [micro_topology("linear", "compute")]
+        with pytest.raises(SchedulingError):
+            RStormScheduler().schedule(topologies, tiny())
+        with pytest.raises(SchedulingError):
+            ReferenceRStormScheduler().schedule(topologies, tiny())
+
+    def test_resume_after_fault_rounds_identical(self):
+        """Multi-round reconciliation: schedule, fail a node, reschedule
+        survivors + orphans, recover the node, schedule a new topology.
+        Each side drives its own cluster; every round must agree."""
+        t1 = random_topology(11, name="rounds-a")
+        t2 = random_topology(12, name="rounds-b")
+
+        def roomy():
+            return small_cluster(
+                racks=3, nodes_per_rack=4, memory=8192.0, cpu=400.0
+            )
+
+        opt_cluster, ref_cluster = roomy(), roomy()
+        opt, ref = RStormScheduler(), ReferenceRStormScheduler()
+
+        opt_a = opt.schedule([t1], opt_cluster)
+        ref_a = ref.schedule([t1], ref_cluster)
+        assert as_map(opt_a) == as_map(ref_a)
+
+        # Fail the busiest node so some tasks genuinely need re-placement.
+        loads = {}
+        for task in opt_a[t1.topology_id].tasks:
+            node_id = opt_a[t1.topology_id].node_of(task)
+            loads[node_id] = loads.get(node_id, 0) + 1
+        victim = max(sorted(loads), key=lambda n: loads[n])
+        opt_cluster.fail_node(victim)
+        ref_cluster.fail_node(victim)
+
+        opt_b = opt.schedule([t1, t2], opt_cluster, opt_a)
+        ref_b = ref.schedule([t1, t2], ref_cluster, ref_a)
+        assert as_map(opt_b) == as_map(ref_b)
+        for task in opt_b[t1.topology_id].tasks:
+            assert opt_b[t1.topology_id].node_of(task) != victim
+
+        opt_cluster.recover_node(victim)
+        ref_cluster.recover_node(victim)
+        t3 = random_topology(13, name="rounds-c")
+        opt_c = opt.schedule([t1, t2, t3], opt_cluster, opt_b)
+        ref_c = ref.schedule([t1, t2, t3], ref_cluster, ref_b)
+        assert as_map(opt_c) == as_map(ref_c)
+
+    def test_generalised_schema_identical(self):
+        schema = ResourceSchema(
+            [
+                ResourceDimension("memory_mb", ConstraintKind.HARD, "MB"),
+                ResourceDimension("cpu", ConstraintKind.SOFT, "points"),
+                ResourceDimension("bandwidth_mbps", ConstraintKind.SOFT, "Mbps"),
+                ResourceDimension("gpu", ConstraintKind.HARD, "devices"),
+            ]
+        )
+
+        def make_cluster():
+            nodes = [
+                Node(
+                    f"gpu-{i}",
+                    "rack-0",
+                    schema.vector(
+                        memory_mb=4096, cpu=200, bandwidth_mbps=100, gpu=2
+                    ),
+                )
+                for i in range(2)
+            ] + [
+                Node(
+                    f"cpu-{i}",
+                    "rack-1",
+                    schema.vector(
+                        memory_mb=4096, cpu=200, bandwidth_mbps=100, gpu=0
+                    ),
+                )
+                for i in range(2)
+            ]
+            return Cluster(
+                [Rack("rack-0", nodes[:2]), Rack("rack-1", nodes[2:])]
+            )
+
+        builder = TopologyBuilder("ml-pipeline")
+        spout = builder.set_spout("frames", 2)
+        spout.component.set_resource_demand(
+            schema.vector(memory_mb=512, cpu=25)
+        )
+        infer = builder.set_bolt("inference", 2)
+        infer.shuffle_grouping("frames")
+        infer.component.set_resource_demand(
+            schema.vector(memory_mb=1024, cpu=50, gpu=1)
+        )
+        sink = builder.set_bolt("sink", 2)
+        sink.shuffle_grouping("inference")
+        sink.component.set_resource_demand(
+            schema.vector(memory_mb=256, cpu=10)
+        )
+        topology = builder.build()
+
+        got, want = run_both(
+            make_cluster,
+            [topology],
+            RStormScheduler(),
+            ReferenceRStormScheduler(),
+        )
+        assert as_map(got) == as_map(want)
+
+
+class TestBaselineSchedulersDifferential:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_default_identical(self, seed):
+        topologies = [
+            random_topology(seed * 10 + i, name=f"d{seed}-{i}")
+            for i in range(2)
+        ]
+        got, want = run_both(
+            small_cluster,
+            topologies,
+            DefaultScheduler(),
+            ReferenceDefaultScheduler(),
+        )
+        assert as_map(got) == as_map(want)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_aniello_identical(self, seed):
+        topologies = [
+            random_topology(seed * 10 + i, name=f"a{seed}-{i}")
+            for i in range(2)
+        ]
+        got, want = run_both(
+            small_cluster,
+            topologies,
+            AnielloOfflineScheduler(),
+            ReferenceAnielloScheduler(),
+        )
+        assert as_map(got) == as_map(want)
+
+    @pytest.mark.parametrize(
+        "opt_cls,ref_cls",
+        [
+            (DefaultScheduler, ReferenceDefaultScheduler),
+            (AnielloOfflineScheduler, ReferenceAnielloScheduler),
+        ],
+        ids=["default", "aniello"],
+    )
+    def test_resume_after_fault_identical(self, opt_cls, ref_cls):
+        t1 = random_topology(21, name="base-rounds")
+        opt_cluster, ref_cluster = small_cluster(), small_cluster()
+        opt, ref = opt_cls(), ref_cls()
+        opt_a = opt.schedule([t1], opt_cluster)
+        ref_a = ref.schedule([t1], ref_cluster)
+        assert as_map(opt_a) == as_map(ref_a)
+        victim = opt_a[t1.topology_id].nodes[0]
+        opt_cluster.fail_node(victim)
+        ref_cluster.fail_node(victim)
+        opt_b = opt.schedule([t1], opt_cluster, opt_a)
+        ref_b = ref.schedule([t1], ref_cluster, ref_a)
+        assert as_map(opt_b) == as_map(ref_b)
+
+    def test_workers_per_topology_identical(self):
+        topologies = [random_topology(31, name="workers")]
+        got, want = run_both(
+            small_cluster,
+            topologies,
+            DefaultScheduler(workers_per_topology=3),
+            ReferenceDefaultScheduler(workers_per_topology=3),
+        )
+        assert as_map(got) == as_map(want)
+
+
+class TestPropertyDifferential:
+    """Hypothesis sweeps with fixed seeds (derandomised so CI is stable)."""
+
+    @given(
+        racks=st.integers(min_value=1, max_value=3),
+        nodes_per_rack=st.integers(min_value=1, max_value=4),
+        memory=st.sampled_from([768.0, 1536.0, 4096.0]),
+        cpu=st.sampled_from([100.0, 250.0]),
+        seeds=st.lists(
+            st.integers(min_value=0, max_value=10_000),
+            min_size=1,
+            max_size=3,
+        ),
+        prefer=st.booleans(),
+        best_effort=st.booleans(),
+    )
+    @settings(max_examples=40, deadline=None, derandomize=True)
+    def test_rstorm_matches_reference(
+        self, racks, nodes_per_rack, memory, cpu, seeds, prefer, best_effort
+    ):
+        spec = TopologySpec(max_layers=3, max_width=2, max_parallelism=4)
+        topologies = [
+            random_topology(seed, spec=spec, name=f"h{i}-{seed}")
+            for i, seed in enumerate(seeds)
+        ]
+
+        def make_cluster():
+            return small_cluster(
+                racks=racks,
+                nodes_per_rack=nodes_per_rack,
+                memory=memory,
+                cpu=cpu,
+            )
+
+        opt = RStormScheduler(
+            prefer_no_overcommit=prefer, best_effort=best_effort
+        )
+        ref = ReferenceRStormScheduler(
+            prefer_no_overcommit=prefer, best_effort=best_effort
+        )
+        assert_identical(make_cluster, topologies, opt, ref)
+
+    @given(
+        racks=st.integers(min_value=1, max_value=3),
+        nodes_per_rack=st.integers(min_value=1, max_value=4),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=25, deadline=None, derandomize=True)
+    def test_baselines_match_reference(self, racks, nodes_per_rack, seed):
+        spec = TopologySpec(max_layers=3, max_width=2, max_parallelism=4)
+        topologies = [random_topology(seed, spec=spec, name=f"b-{seed}")]
+
+        def make_cluster():
+            return small_cluster(racks=racks, nodes_per_rack=nodes_per_rack)
+
+        for opt, ref in (
+            (DefaultScheduler(), ReferenceDefaultScheduler()),
+            (AnielloOfflineScheduler(), ReferenceAnielloScheduler()),
+        ):
+            got, want = run_both(make_cluster, topologies, opt, ref)
+            assert as_map(got) == as_map(want)
