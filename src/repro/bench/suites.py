@@ -1,6 +1,6 @@
 """The benchmark registry: what ``repro bench`` measures.
 
-Seven probes, ordered cheapest first:
+Eight probes, ordered cheapest first:
 
 * ``engine-churn`` — raw DES event loop: payload-carrying events that
   perpetually reschedule themselves through the heap.
@@ -16,6 +16,10 @@ Seven probes, ordered cheapest first:
 * ``chaos-replay`` — a fault-injected coordination-plane run (heartbeat
   detector, Nimbus rescheduling, busiest-node crash), replayed from the
   deterministic chaos scenario the ``chaos`` experiment uses.
+* ``delivery-replay`` — the at-least-once delivery layer under a lossy
+  inter-rack trunk: tuple-tree timeouts, spout replays with backoff,
+  duplicate (ghost) deliveries, and the Nimbus quarantine bookkeeping,
+  replayed from the extended chaos ``lossy-link`` scenario.
 * ``fig9-e2e`` — the six fig9 work units end to end at ``--duration
   60``: schedule + simulate, the wall-clock the figure suite pays.
 
@@ -56,6 +60,14 @@ SCHEDULER_ROUNDS = {"r-storm": 100, "default": 1000, "aniello": 800}
 #: Simulated seconds of the chaos replay and fig9 end-to-end probes.
 CHAOS_DURATION_S = 180.0
 FIG9_DURATION_S = 60.0
+
+#: Simulated seconds of the delivery-replay probe, and its replay budget.
+#: The default scheduler is used on purpose: it splits the linear chain
+#: across racks, so the lossy trunk actually carries tuple traffic and
+#: the replay/dedup machinery does real work (R-Storm co-locates the
+#: chain and would dodge the loss entirely).
+DELIVERY_REPLAY_DURATION_S = 180.0
+DELIVERY_REPLAY_MAX_RETRIES = 3
 
 #: The large-cluster scaling probe: 8 racks x 64 production-size nodes
 #: (16 GB / 8 cores / 1 Gbps each) scheduling five concurrent
@@ -301,6 +313,35 @@ def _prepare_chaos_replay() -> Callable[[], int]:
     return workload
 
 
+def _prepare_delivery_replay() -> Callable[[], int]:
+    from repro.cluster.builders import emulab_testbed
+    from repro.experiments.fault_recovery import lossy_link
+    from repro.experiments.parallel import ChaosUnit, spec
+    from repro.scheduler.default import DefaultScheduler
+    from repro.simulation.config import SimulationConfig
+    from repro.workloads.micro import micro_topology
+
+    unit = ChaosUnit(
+        scheduler=spec(DefaultScheduler),
+        topologies=(spec(micro_topology, "linear", "compute"),),
+        cluster=spec(emulab_testbed),
+        config=SimulationConfig(
+            duration_s=DELIVERY_REPLAY_DURATION_S,
+            warmup_s=15.0,
+            at_least_once=True,
+            max_retries=DELIVERY_REPLAY_MAX_RETRIES,
+        ),
+        faults=spec(lossy_link),
+        quarantine=True,
+        label="bench:delivery-replay",
+    )
+
+    def workload() -> int:
+        return unit.execute().report.events_processed
+
+    return workload
+
+
 def _prepare_fig9_e2e() -> Callable[[], int]:
     from repro.experiments.fig9_compute_bound import compute_bound_units
     from repro.simulation.config import SimulationConfig
@@ -379,6 +420,16 @@ REGISTRY: Dict[str, Benchmark] = {
                 f"R-Storm, {CHAOS_DURATION_S:g} simulated s"
             ),
             prepare=_prepare_chaos_replay,
+            repeats=3,
+        ),
+        Benchmark(
+            name="delivery-replay",
+            description=(
+                "at-least-once delivery layer: lossy inter-rack trunk on "
+                "the default scheduler, replay + dedup + quarantine, "
+                f"{DELIVERY_REPLAY_DURATION_S:g} simulated s"
+            ),
+            prepare=_prepare_delivery_replay,
             repeats=3,
         ),
         Benchmark(

@@ -5,6 +5,7 @@ Usage::
     python -m repro list
     python -m repro fig8 [--duration 120]
     python -m repro chaos [--duration 120]    # fault-injection recovery study
+    python -m repro chaos --loss-rate 0.05 --quarantine   # delivery semantics
     python -m repro all [--duration 120] [--series] [--save results/]
     python -m repro all --jobs 4              # fan misses out over processes
     python -m repro all --no-cache            # force fresh simulations
@@ -64,6 +65,34 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="DIR",
         default=None,
         help="write the table (.txt) and each series (.csv) into DIR",
+    )
+    parser.add_argument(
+        "--loss-rate",
+        type=float,
+        default=0.0,
+        metavar="P",
+        help=(
+            "chaos only: add a lossy-link scenario with this per-batch "
+            "drop probability and enable at-least-once replay"
+        ),
+    )
+    parser.add_argument(
+        "--max-retries",
+        type=int,
+        default=3,
+        metavar="N",
+        help=(
+            "chaos only: replay budget per root tuple in extended mode "
+            "(default 3)"
+        ),
+    )
+    parser.add_argument(
+        "--quarantine",
+        action="store_true",
+        help=(
+            "chaos only: enable Nimbus node quarantine and add a "
+            "flapping-node scenario (extended mode)"
+        ),
     )
     parser.add_argument(
         "--jobs",
@@ -137,6 +166,14 @@ def _run_one(name: str, args, context: ExperimentContext) -> None:
     runner = REGISTRY[name]
     if name == "overhead":
         result = runner(context=context)
+    elif name == "chaos":
+        result = runner(
+            duration_s=args.duration,
+            context=context,
+            loss_rate=args.loss_rate,
+            max_retries=args.max_retries,
+            quarantine=args.quarantine,
+        )
     else:
         result = runner(duration_s=args.duration, context=context)
     print(result.format(include_series=args.series))

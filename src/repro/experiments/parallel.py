@@ -50,6 +50,7 @@ from repro.faults.chaos import ChaosGenerator
 from repro.faults.injector import FaultInjector
 from repro.faults.monitor import RecoveryMonitor, RecoveryReport
 from repro.faults.schedule import FaultSchedule
+from repro.nimbus.config import StormConfig
 from repro.nimbus.failure_detector import HeartbeatFailureDetector
 from repro.nimbus.nimbus import Nimbus
 from repro.nimbus.supervisor import Supervisor
@@ -237,6 +238,8 @@ class ChaosOutcome:
     injected: Tuple[Tuple[float, str], ...]
     #: ``(simulated time, error)`` of every infeasible scheduling round
     scheduling_failures: Tuple[Tuple[float, str], ...]
+    #: ``(simulated time, node id)`` of every Nimbus quarantine decision
+    quarantined: Tuple[Tuple[float, str], ...] = ()
 
 
 @dataclass(frozen=True)
@@ -271,6 +274,8 @@ class ChaosUnit:
     heartbeat_timeout_s: float = 10.0
     scheduling_interval_s: float = 10.0
     interrack_uplink_mbps: Optional[float] = None
+    #: enable Nimbus flap-tracking/quarantine for this run
+    quarantine: bool = False
     trial: int = 0
     label: str = field(default="", compare=False)
 
@@ -286,6 +291,7 @@ class ChaosUnit:
             self.heartbeat_timeout_s,
             self.scheduling_interval_s,
             self.interrack_uplink_mbps,
+            self.quarantine,
             self.trial,
         )
 
@@ -315,7 +321,12 @@ class ChaosUnit:
         cluster = self.cluster.build()
 
         zk = InMemoryZooKeeper()
-        nimbus = Nimbus(cluster, scheduler=scheduler, zk=zk)
+        config = (
+            StormConfig({"nimbus.quarantine.enabled": True})
+            if self.quarantine
+            else None
+        )
+        nimbus = Nimbus(cluster, scheduler=scheduler, zk=zk, config=config)
         supervisors = []
         for node in cluster.nodes:
             supervisor = Supervisor(node, zk)
@@ -363,6 +374,7 @@ class ChaosUnit:
                 (time, event.describe()) for time, event in injector.injected
             ),
             scheduling_failures=tuple(nimbus.scheduling_failures),
+            quarantined=tuple(nimbus.quarantine_events),
         )
 
 

@@ -14,6 +14,7 @@ from repro.faults.events import (
     FaultEvent,
     HeartbeatSilence,
     LinkDegradation,
+    MessageLoss,
     NodeCrash,
     NodeSlowdown,
     RackPartition,
@@ -31,6 +32,7 @@ __all__ = [
     "FaultSchedule",
     "HeartbeatSilence",
     "LinkDegradation",
+    "MessageLoss",
     "NodeCrash",
     "NodeSlowdown",
     "RackPartition",

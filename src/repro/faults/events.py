@@ -18,7 +18,10 @@ literature evaluates under (Aniello et al., Fu et al., see PAPERS.md):
 * :class:`RackPartition` — a whole rack becomes unreachable (optionally
   healing later),
 * :class:`HeartbeatSilence` — a gray failure: the machine keeps working
-  but its heartbeats stop, so the detector wrongly declares it dead.
+  but its heartbeats stop, so the detector wrongly declares it dead,
+* :class:`MessageLoss` — the inter-rack trunk becomes lossy: batches
+  crossing it are dropped (and optionally duplicated) with a seeded
+  probability, exercising the at-least-once replay layer.
 """
 
 from __future__ import annotations
@@ -35,6 +38,7 @@ __all__ = [
     "LinkDegradation",
     "RackPartition",
     "HeartbeatSilence",
+    "MessageLoss",
     "EVENT_KINDS",
 ]
 
@@ -187,6 +191,63 @@ class HeartbeatSilence(FaultEvent):
         return f"{self.kind} {self.node_id}{span}"
 
 
+@dataclass(frozen=True)
+class MessageLoss(FaultEvent):
+    """The trunk between two racks becomes lossy at ``at``: each batch
+    crossing it is independently dropped with ``drop_probability``, or —
+    if it survives — duplicated with ``duplicate_probability``.  Fates
+    are drawn from ``random.Random(seed)`` in simulation-time order, so
+    a fixed seed is deterministic.  The link heals at ``until`` if set.
+
+    Bandwidth is still spent on lost batches (the bits left the NIC);
+    only the delivery vanishes, so the affected tuple trees time out —
+    the failure mode the at-least-once replay layer recovers from.
+    """
+
+    rack_a: str = ""
+    rack_b: str = ""
+    drop_probability: float = 0.05
+    duplicate_probability: float = 0.0
+    until: Optional[float] = None
+    seed: int = 0
+
+    kind = "message_loss"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not self.rack_a or not self.rack_b:
+            raise ConfigError("MessageLoss needs two rack ids")
+        if self.rack_a == self.rack_b:
+            raise ConfigError("MessageLoss racks must differ")
+        if not 0.0 <= self.drop_probability < 1.0:
+            raise ConfigError(
+                "MessageLoss drop_probability must be in [0, 1), got "
+                f"{self.drop_probability}"
+            )
+        if not 0.0 <= self.duplicate_probability < 1.0:
+            raise ConfigError(
+                "MessageLoss duplicate_probability must be in [0, 1), got "
+                f"{self.duplicate_probability}"
+            )
+        if self.drop_probability == 0.0 and self.duplicate_probability == 0.0:
+            raise ConfigError(
+                "MessageLoss needs a non-zero drop or duplicate probability"
+            )
+        self._check_until(self.until)
+
+    def describe(self) -> str:
+        span = f" until {self.until:g}s" if self.until is not None else ""
+        dup = (
+            f" dup={self.duplicate_probability:g}"
+            if self.duplicate_probability
+            else ""
+        )
+        return (
+            f"{self.kind} {self.rack_a}<->{self.rack_b} "
+            f"drop={self.drop_probability:g}{dup}{span}"
+        )
+
+
 #: kind string -> event class, for (de)serialising schedules.
 EVENT_KINDS: Tuple[Tuple[str, Type[FaultEvent]], ...] = tuple(
     (cls.kind, cls)
@@ -196,5 +257,6 @@ EVENT_KINDS: Tuple[Tuple[str, Type[FaultEvent]], ...] = tuple(
         LinkDegradation,
         RackPartition,
         HeartbeatSilence,
+        MessageLoss,
     )
 )

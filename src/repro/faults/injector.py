@@ -17,6 +17,9 @@ callbacks against one :class:`~repro.simulation.runtime.SimulationRun`:
   either way); healing rejoins them all.
 * **Heartbeat silence** — gray failure: the machine keeps processing but
   the detector will wrongly expire it.  Requires a detector.
+* **Message loss** — the rack-pair trunk drops (and optionally
+  duplicates) batches with a seeded probability; healing restores
+  exactly-once transport.
 
 Injection is deterministic: all times are simulated time, no wall clock
 or RNG is consulted, and the injector records everything it did in
@@ -26,6 +29,7 @@ or RNG is consulted, and the injector records everything it did in
 
 from __future__ import annotations
 
+import random
 from typing import List, Optional, Tuple
 
 from repro.errors import ConfigError
@@ -33,6 +37,7 @@ from repro.faults.events import (
     FaultEvent,
     HeartbeatSilence,
     LinkDegradation,
+    MessageLoss,
     NodeCrash,
     NodeSlowdown,
     RackPartition,
@@ -149,6 +154,24 @@ class FaultInjector:
                 run.on_time(
                     event.until,
                     lambda: self.detector.unmute(event.node_id, run.sim.now),
+                )
+        elif isinstance(event, MessageLoss):
+            # Fates come from a per-event RNG seeded by the schedule, and
+            # the DES consumes them in simulation-time order — identical
+            # schedules give byte-identical loss patterns.
+            run.transfer.set_link_loss(
+                event.rack_a,
+                event.rack_b,
+                event.drop_probability,
+                event.duplicate_probability,
+                rng=random.Random(event.seed),
+            )
+            if event.until is not None:
+                run.on_time(
+                    event.until,
+                    lambda: run.transfer.clear_link_loss(
+                        event.rack_a, event.rack_b
+                    ),
                 )
         else:  # pragma: no cover - new event kinds must be handled here
             raise ConfigError(f"unhandled fault event {type(event).__name__}")

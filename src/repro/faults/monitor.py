@@ -37,6 +37,19 @@ def _round(value: Optional[float]) -> Optional[float]:
     return None if value is None else round(value, 6)
 
 
+def _moved_of(detail: str) -> Optional[int]:
+    """Parse the churn count out of a migrate event detail
+    (``"onto N nodes, moved=M"``); None for pre-churn traces."""
+    marker = "moved="
+    idx = detail.rfind(marker)
+    if idx < 0:
+        return None
+    try:
+        return int(detail[idx + len(marker):])
+    except ValueError:  # pragma: no cover - malformed detail
+        return None
+
+
 @dataclass(frozen=True)
 class FaultRecovery:
     """Recovery metrics for one injected fault."""
@@ -50,6 +63,9 @@ class FaultRecovery:
     throughput_floor_ratio: Optional[float]
     steady_state_at_s: Optional[float]
     time_to_steady_state_s: Optional[float]
+    #: reassignment churn: tasks that changed slot in the first
+    #: migration after this fault (None when no migration happened)
+    tasks_moved: Optional[int] = None
 
     def as_dict(self) -> Dict[str, Any]:
         return {
@@ -62,6 +78,7 @@ class FaultRecovery:
             "throughput_floor_ratio": _round(self.throughput_floor_ratio),
             "steady_state_at_s": _round(self.steady_state_at_s),
             "time_to_steady_state_s": _round(self.time_to_steady_state_s),
+            "tasks_moved": self.tasks_moved,
         }
 
 
@@ -75,6 +92,17 @@ class RecoveryReport:
     total_failed_tuples: int
     migrations: int
     faults: Tuple[FaultRecovery, ...]
+    #: total reassignment churn: tasks moved across all migrations
+    total_tasks_moved: int = 0
+    # -- delivery semantics (zero unless the at-least-once layer and/or
+    # -- message-loss faults were active in the run) ------------------------
+    replayed_tuples: int = 0
+    exhausted_tuples: int = 0
+    lost_tuples: int = 0
+    duplicated_tuples: int = 0
+    #: last replay issued after the last fault, relative to that fault —
+    #: how long the replay backlog took to drain (None without replays)
+    time_to_drain_s: Optional[float] = None
 
     # -- aggregates ---------------------------------------------------------
 
@@ -118,6 +146,12 @@ class RecoveryReport:
             ),
             "total_failed_tuples": self.total_failed_tuples,
             "migrations": self.migrations,
+            "total_tasks_moved": self.total_tasks_moved,
+            "replayed_tuples": self.replayed_tuples,
+            "exhausted_tuples": self.exhausted_tuples,
+            "lost_tuples": self.lost_tuples,
+            "duplicated_tuples": self.duplicated_tuples,
+            "time_to_drain_s": _round(self.time_to_drain_s),
             "mean_detection_latency_s": _round(self.mean_detection_latency_s),
             "mean_reschedule_latency_s": _round(self.mean_reschedule_latency_s),
             "mean_time_to_steady_state_s": _round(
@@ -217,8 +251,16 @@ class RecoveryMonitor:
             detected_at = next(
                 (e.time for e in expires if e.time >= inject.time), None
             )
-            rescheduled_at = next(
-                (m.time for m in migrates if m.time >= inject.time), None
+            first_migrate = next(
+                (m for m in migrates if m.time >= inject.time), None
+            )
+            rescheduled_at = (
+                first_migrate.time if first_migrate is not None else None
+            )
+            tasks_moved = (
+                _moved_of(first_migrate.detail)
+                if first_migrate is not None
+                else None
             )
             post = [
                 (start, value)
@@ -258,6 +300,7 @@ class RecoveryMonitor:
                         if steady_at is not None
                         else None
                     ),
+                    tasks_moved=tasks_moved,
                 )
             )
 
@@ -269,6 +312,19 @@ class RecoveryMonitor:
         ]
         post_fault = sum(post_values) / len(post_values) if post_values else 0.0
 
+        # Delivery-semantics metrics: how much replay traffic the faults
+        # caused and how long the backlog took to drain.  All stay at
+        # their zero defaults on runs without the at-least-once layer or
+        # message-loss faults.
+        replays = self.tracer.query(kind="replay", topology=topology_id)
+        time_to_drain: Optional[float] = None
+        if replays and last_fault is not None:
+            post_fault_replays = [
+                r.time for r in replays if r.time >= last_fault
+            ]
+            if post_fault_replays:
+                time_to_drain = post_fault_replays[-1] - last_fault
+
         return RecoveryReport(
             topology_id=topology_id,
             baseline_tuples_per_window=baseline,
@@ -276,4 +332,14 @@ class RecoveryMonitor:
             total_failed_tuples=sim_report.failed(topology_id),
             migrations=len(migrates),
             faults=tuple(faults),
+            total_tasks_moved=sum(
+                moved
+                for m in migrates
+                if (moved := _moved_of(m.detail)) is not None
+            ),
+            replayed_tuples=sim_report.replayed(topology_id),
+            exhausted_tuples=sim_report.exhausted(topology_id),
+            lost_tuples=sim_report.lost(topology_id),
+            duplicated_tuples=sim_report.duplicated(topology_id),
+            time_to_drain_s=time_to_drain,
         )

@@ -31,6 +31,7 @@ from repro.faults.events import (
     FaultEvent,
     HeartbeatSilence,
     LinkDegradation,
+    MessageLoss,
     NodeCrash,
     NodeSlowdown,
     RackPartition,
@@ -103,7 +104,7 @@ class FaultSchedule:
                     raise ConfigError(
                         f"{event.describe()}: unknown rack {event.rack_id!r}"
                     )
-            elif isinstance(event, LinkDegradation):
+            elif isinstance(event, (LinkDegradation, MessageLoss)):
                 for rack_id in (event.rack_a, event.rack_b):
                     if rack_id not in rack_ids:
                         raise ConfigError(

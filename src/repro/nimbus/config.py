@@ -28,6 +28,10 @@ DEFAULTS: Dict[str, Any] = {
     "supervisor.slots.ports": [6700, 6701, 6702, 6703],
     "storm.scheduler": "default",
     "nimbus.scheduler.interval.secs": 10.0,
+    "nimbus.quarantine.enabled": False,
+    "nimbus.quarantine.threshold": 3,
+    "nimbus.quarantine.window.secs": 120.0,
+    "nimbus.quarantine.probation.secs": 60.0,
     "topology.workers": None,
     "topology.max.spout.pending": 10,
     "topology.message.timeout.secs": 30.0,
@@ -178,6 +182,28 @@ class StormConfig:
     @property
     def scheduling_interval_s(self) -> float:
         return self._positive_number("nimbus.scheduler.interval.secs")
+
+    @property
+    def quarantine_enabled(self) -> bool:
+        value = self["nimbus.quarantine.enabled"]
+        if not isinstance(value, bool):
+            raise ConfigError("nimbus.quarantine.enabled must be a bool")
+        return value
+
+    @property
+    def quarantine_threshold(self) -> int:
+        value = self["nimbus.quarantine.threshold"]
+        if not isinstance(value, int) or isinstance(value, bool) or value < 1:
+            raise ConfigError("nimbus.quarantine.threshold must be an int >= 1")
+        return value
+
+    @property
+    def quarantine_window_s(self) -> float:
+        return self._positive_number("nimbus.quarantine.window.secs")
+
+    @property
+    def quarantine_probation_s(self) -> float:
+        return self._positive_number("nimbus.quarantine.probation.secs")
 
     @property
     def max_spout_pending(self) -> int:

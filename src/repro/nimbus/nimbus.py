@@ -16,6 +16,7 @@ from __future__ import annotations
 from typing import Callable, Dict, List, Mapping, Optional, Tuple
 
 from repro.cluster.cluster import Cluster
+from repro.cluster.node import Node
 from repro.errors import MembershipError, SchedulingError
 from repro.nimbus.config import StormConfig
 from repro.nimbus.supervisor import SUPERVISORS_PATH, Supervisor
@@ -55,6 +56,17 @@ class Nimbus:
         #: when an attached round changes at least one assignment, before
         #: the migrations are applied (recovery monitoring).
         self.on_reschedule: Optional[Callable[[float, List[str]], None]] = None
+        # -- quarantine state (only populated when
+        # -- ``nimbus.quarantine.enabled`` is set) --------------------------
+        #: node id -> recent down-transition times inside the flap window
+        self.flap_history: Dict[str, List[float]] = {}
+        #: node id -> probation end time; quarantined nodes are excluded
+        #: from scheduling even while alive, until probation passes
+        self.quarantined: Dict[str, float] = {}
+        #: last liveness sampled per node, for down-transition detection
+        self._last_alive: Dict[str, bool] = {}
+        #: (time, node id) of every quarantine decision, for reporting
+        self.quarantine_events: List[Tuple[float, str]] = []
 
     # -- topology lifecycle ---------------------------------------------------
 
@@ -150,12 +162,78 @@ class Nimbus:
             live[topo_id] = surviving
         return live
 
-    def schedule_round(self) -> SchedulingRound:
+    def _update_quarantine(self, now: float) -> None:
+        """Track per-node flaps and quarantine repeat offenders.
+
+        A *flap* is an alive->dead transition observed between scheduling
+        rounds (sampled after membership reconciliation).  A node with
+        ``threshold`` flaps inside the sliding window is quarantined for
+        ``probation`` seconds; expired quarantines are released with a
+        clean flap history, so one more crash does not instantly
+        re-quarantine.
+        """
+        expired = [
+            node_id
+            for node_id, until in self.quarantined.items()
+            if now >= until
+        ]
+        for node_id in expired:
+            del self.quarantined[node_id]
+            self.flap_history.pop(node_id, None)
+        window = self.config.quarantine_window_s
+        threshold = self.config.quarantine_threshold
+        probation = self.config.quarantine_probation_s
+        for node in self.cluster.nodes:
+            node_id = node.node_id
+            if self._last_alive.get(node_id, True) and not node.alive:
+                history = self.flap_history.get(node_id, [])
+                history.append(now)
+                history = [t for t in history if t > now - window]
+                self.flap_history[node_id] = history
+                if (
+                    len(history) >= threshold
+                    and node_id not in self.quarantined
+                ):
+                    self.quarantined[node_id] = now + probation
+                    self.quarantine_events.append((now, node_id))
+            self._last_alive[node_id] = node.alive
+
+    def _mask_quarantined(self) -> List[Node]:
+        """Temporarily fail alive-but-quarantined nodes so any scheduler
+        — none of which know about quarantine — simply never sees them.
+        Returns the masked nodes for the caller to restore."""
+        masked: List[Node] = []
+        for node_id in self.quarantined:
+            if self.cluster.has_node(node_id):
+                node = self.cluster.node(node_id)
+                if node.alive:
+                    node.fail()
+                    masked.append(node)
+        return masked
+
+    def schedule_round(self, now: float = 0.0) -> SchedulingRound:
         """One scheduler invocation: reconcile membership, call the
-        scheduler with live assignments, adopt the result."""
+        scheduler with live assignments, adopt the result.
+
+        With ``nimbus.quarantine.enabled``, ``now`` (simulated time when
+        attached) drives the flap/quarantine bookkeeping, and quarantined
+        nodes are masked dead for the duration of the scheduler call.
+        Because schedulers keep the surviving ``existing`` placements and
+        only re-place dropped tasks, the resulting migration is
+        *partial*: only tasks from dead or quarantined nodes move.
+        """
         self.reconcile_membership()
-        existing = self._live_assignments()
-        round_info = self.scheduler.run(self.topologies, self.cluster, existing)
+        if self.config.quarantine_enabled:
+            self._update_quarantine(now)
+        masked = self._mask_quarantined()
+        try:
+            existing = self._live_assignments()
+            round_info = self.scheduler.run(
+                self.topologies, self.cluster, existing
+            )
+        finally:
+            for node in masked:
+                node.recover()
         self.assignments.update(round_info.assignments)
         self.rounds.append(round_info)
         return round_info
@@ -189,7 +267,7 @@ class Nimbus:
         def tick() -> None:
             before = dict(self.assignments)
             try:
-                self.schedule_round()
+                self.schedule_round(run.sim.now)
             except SchedulingError as err:
                 self.scheduling_failures.append((run.sim.now, str(err)))
                 state["delay"] = min(state["delay"] * 2, backoff_cap)

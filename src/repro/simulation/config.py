@@ -51,6 +51,19 @@ class SimulationConfig:
             supervisor restarts it after ``worker_restart_s``.  ``None``
             disables the crash model (queues grow without bound).
         worker_restart_s: Downtime before a crashed task is restarted.
+        at_least_once: Enable Storm's at-least-once delivery layer: a
+            tuple tree that times out is *replayed* by its spout (real
+            CPU and network cost, a fresh root id) instead of merely
+            counting as failed.  Off by default — the historical
+            at-most-once behaviour, byte-identical to prior releases.
+        max_retries: Replay budget per root tuple when ``at_least_once``
+            is on.  A tree that still has not acked after this many
+            replays is *exhausted*: explicitly given up on and counted,
+            never silently dropped.  ``0`` means acking without replay.
+        replay_backoff_s: Base delay before the first replay of a
+            timed-out tree; attempt ``n`` waits
+            ``replay_backoff_s * 2**n`` (exponential backoff), mirroring
+            a backpressure-aware spout.
     """
 
     duration_s: float = 120.0
@@ -63,6 +76,9 @@ class SimulationConfig:
     serde_ms_per_tuple: float = 0.002
     queue_overflow_batches: Optional[int] = 500
     worker_restart_s: float = 10.0
+    at_least_once: bool = False
+    max_retries: int = 3
+    replay_backoff_s: float = 1.0
 
     def __post_init__(self) -> None:
         if self.duration_s <= 0:
@@ -88,3 +104,7 @@ class SimulationConfig:
             raise ConfigError("queue_overflow_batches must be >= 1 or None")
         if self.worker_restart_s < 0:
             raise ConfigError("worker_restart_s must be >= 0")
+        if self.max_retries < 0:
+            raise ConfigError("max_retries must be >= 0")
+        if self.replay_backoff_s <= 0:
+            raise ConfigError("replay_backoff_s must be positive")

@@ -56,6 +56,25 @@ class StatisticServer:
         self.dropped_batches: int = 0
         #: (topology, component) -> worker crash count (queue overflow)
         self._crashes: Dict[Tuple[str, str], int] = defaultdict(int)
+        # -- delivery-semantics counters (at-least-once layer / message
+        # -- loss faults); all stay zero on default runs.
+        #: topology -> tuples re-emitted by spouts replaying failed trees
+        self._replayed: Dict[str, int] = defaultdict(int)
+        #: topology -> replay batches issued
+        self._replay_batches: Dict[str, int] = defaultdict(int)
+        #: topology -> tuples in trees given up on after max_retries
+        self._exhausted: Dict[str, int] = defaultdict(int)
+        #: topology -> exhausted tree count
+        self._exhausted_batches: Dict[str, int] = defaultdict(int)
+        #: topology -> tuples lost on the wire (message-loss faults)
+        self._lost: Dict[str, int] = defaultdict(int)
+        #: topology -> tuples duplicated on the wire
+        self._duplicated: Dict[str, int] = defaultdict(int)
+        #: (topology, window_index) -> tuples in trees acked that window
+        #: (effective, acked-once throughput vs the raw sink windows)
+        self._acked_windows: Dict[Tuple[str, int], int] = defaultdict(int)
+        #: topology -> total tuples in acked trees
+        self._acked_totals: Dict[str, int] = defaultdict(int)
 
     # -- recording ---------------------------------------------------------
 
@@ -98,6 +117,27 @@ class StatisticServer:
 
     def record_crash(self, topology_id: str, component: str) -> None:
         self._crashes[(topology_id, component)] += 1
+
+    def record_replayed(self, topology_id: str, tuples: int) -> None:
+        self._replayed[topology_id] += tuples
+        self._replay_batches[topology_id] += 1
+
+    def record_exhausted(self, topology_id: str, tuples: int) -> None:
+        self._exhausted[topology_id] += tuples
+        self._exhausted_batches[topology_id] += 1
+
+    def record_lost(self, topology_id: str, tuples: int) -> None:
+        self._lost[topology_id] += tuples
+
+    def record_duplicate(self, topology_id: str, tuples: int) -> None:
+        self._duplicated[topology_id] += tuples
+
+    def record_acked_tuples(
+        self, topology_id: str, time: float, tuples: int
+    ) -> None:
+        w = int(time / self.window_s)
+        self._acked_windows[(topology_id, w)] += tuples
+        self._acked_totals[topology_id] += tuples
 
     # -- raw views --------------------------------------------------------
 
@@ -142,6 +182,39 @@ class StatisticServer:
                 w * self.window_s,
                 self._component_windows.get((topology_id, component, w), 0),
             )
+            for w in range(num_windows)
+        ]
+
+    def replayed_total(self, topology_id: str) -> int:
+        return self._replayed.get(topology_id, 0)
+
+    def replay_batches(self, topology_id: str) -> int:
+        return self._replay_batches.get(topology_id, 0)
+
+    def exhausted_total(self, topology_id: str) -> int:
+        return self._exhausted.get(topology_id, 0)
+
+    def exhausted_batches(self, topology_id: str) -> int:
+        return self._exhausted_batches.get(topology_id, 0)
+
+    def lost_total(self, topology_id: str) -> int:
+        return self._lost.get(topology_id, 0)
+
+    def duplicated_total(self, topology_id: str) -> int:
+        return self._duplicated.get(topology_id, 0)
+
+    def acked_total(self, topology_id: str) -> int:
+        return self._acked_totals.get(topology_id, 0)
+
+    def acked_series(
+        self, topology_id: str, duration_s: float
+    ) -> List[Tuple[float, int]]:
+        """(window_start_s, tuples in trees acked) for every window —
+        the effective (acked-once) counterpart of
+        :meth:`throughput_series`."""
+        num_windows = int(math.ceil(duration_s / self.window_s))
+        return [
+            (w * self.window_s, self._acked_windows.get((topology_id, w), 0))
             for w in range(num_windows)
         ]
 

@@ -15,6 +15,7 @@ the paper's evaluation depends on.
 
 from __future__ import annotations
 
+import random
 from typing import Dict, FrozenSet, Optional, Tuple
 
 from repro.cluster.cluster import Cluster
@@ -45,6 +46,8 @@ class TransferModel:
         "_bw_scaled",
         "_uplink_bw_scaled",
         "_rack_of",
+        "_link_loss",
+        "lossy",
     )
 
     def __init__(self, cluster: Cluster, interrack_uplink_mbps: Optional[float] = None):
@@ -84,6 +87,15 @@ class TransferModel:
         self._uplink_bw_scaled = uplink * 1e6 if uplink and uplink > 0 else 0.0
         #: node id -> rack id, filled lazily (nodes may join mid-run).
         self._rack_of: Dict[str, str] = {}
+        #: rack-pair -> (drop probability, duplicate probability, rng)
+        #: from injected message-loss faults; empty on healthy links.
+        self._link_loss: Dict[
+            FrozenSet[str], Tuple[float, float, random.Random]
+        ] = {}
+        #: hot-path flag: the runtime consults per-delivery fates only
+        #: while at least one lossy link is configured, so healthy runs
+        #: pay a single falsy check per routed batch.
+        self.lossy = False
 
     # -- helpers -------------------------------------------------------------
 
@@ -112,6 +124,72 @@ class TransferModel:
 
     def uplink_scale(self, rack_a: str, rack_b: str) -> float:
         return self._uplink_scale.get(frozenset((rack_a, rack_b)), 1.0)
+
+    def set_link_loss(
+        self,
+        rack_a: str,
+        rack_b: str,
+        drop_probability: float,
+        duplicate_probability: float = 0.0,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        """Make the rack-pair trunk lossy (and/or duplicating).
+
+        Each batch crossing the link is independently dropped with
+        ``drop_probability`` or — if it survives — duplicated with
+        ``duplicate_probability``.  Fates are drawn from ``rng``, which
+        the caller seeds; the DES books transfers in simulation-time
+        order, so a fixed seed gives a byte-identical fate sequence.
+        Passing both probabilities as 0 heals the link.
+        """
+        if not 0.0 <= drop_probability < 1.0:
+            raise ValueError(
+                f"drop probability must be in [0, 1), got {drop_probability}"
+            )
+        if not 0.0 <= duplicate_probability < 1.0:
+            raise ValueError(
+                "duplicate probability must be in [0, 1), got "
+                f"{duplicate_probability}"
+            )
+        key = frozenset((rack_a, rack_b))
+        if drop_probability == 0.0 and duplicate_probability == 0.0:
+            self._link_loss.pop(key, None)
+        else:
+            self._link_loss[key] = (
+                drop_probability,
+                duplicate_probability,
+                rng if rng is not None else random.Random(0),
+            )
+        self.lossy = bool(self._link_loss)
+
+    def clear_link_loss(self, rack_a: str, rack_b: str) -> None:
+        """Heal a lossy link (idempotent)."""
+        self._link_loss.pop(frozenset((rack_a, rack_b)), None)
+        self.lossy = bool(self._link_loss)
+
+    def copies(self, src_node: str, dst_node: str, level: DistanceLevel) -> int:
+        """Delivery fate of one batch: 0 = lost, 1 = delivered, 2 =
+        delivered twice (duplicated).  Only inter-rack transfers over a
+        configured lossy link can lose or duplicate; everything else is
+        exactly-once at the network layer."""
+        if level is not DistanceLevel.INTER_RACK or not self._link_loss:
+            return 1
+        rack_of = self._rack_of
+        rack_a = rack_of.get(src_node)
+        if rack_a is None:
+            rack_a = rack_of[src_node] = self.cluster.node(src_node).rack_id
+        rack_b = rack_of.get(dst_node)
+        if rack_b is None:
+            rack_b = rack_of[dst_node] = self.cluster.node(dst_node).rack_id
+        entry = self._link_loss.get(frozenset((rack_a, rack_b)))
+        if entry is None:
+            return 1
+        drop_p, dup_p, rng = entry
+        if drop_p and rng.random() < drop_p:
+            return 0
+        if dup_p and rng.random() < dup_p:
+            return 2
+        return 1
 
     # -- main API ------------------------------------------------------------
 

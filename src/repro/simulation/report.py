@@ -106,6 +106,62 @@ class SimulationReport:
         """Worker crashes from queue overflow during the run."""
         return self.stats.crash_total(topology_id)
 
+    # -- delivery semantics (at-least-once layer) ---------------------------------
+
+    def replayed(self, topology_id: str) -> int:
+        """Tuples re-emitted by spouts replaying timed-out trees."""
+        return self.stats.replayed_total(topology_id)
+
+    def exhausted(self, topology_id: str) -> int:
+        """Tuples in trees explicitly given up on after ``max_retries``."""
+        return self.stats.exhausted_total(topology_id)
+
+    def lost(self, topology_id: str) -> int:
+        """Tuples dropped on the wire by message-loss faults."""
+        return self.stats.lost_total(topology_id)
+
+    def duplicated(self, topology_id: str) -> int:
+        """Tuples duplicated on the wire by message-loss faults."""
+        return self.stats.duplicated_total(topology_id)
+
+    def replay_amplification(self, topology_id: str) -> float:
+        """(emitted + replayed) / emitted — 1.0 means no replay traffic;
+        the overhead factor at-least-once delivery pays under faults."""
+        emitted = self.emitted(topology_id)
+        if emitted <= 0:
+            return 1.0
+        return (emitted + self.replayed(topology_id)) / emitted
+
+    def duplicate_rate(self, topology_id: str) -> float:
+        """Wire-duplicated tuples as a fraction of emitted tuples."""
+        emitted = self.emitted(topology_id)
+        if emitted <= 0:
+            return 0.0
+        return self.duplicated(topology_id) / emitted
+
+    def effective_throughput_series(
+        self, topology_id: str
+    ) -> List[Tuple[float, int]]:
+        """(window_start_s, tuples in trees acked in window): *effective*
+        (acked-exactly-once) throughput, vs the raw sink series that
+        counts replays and ghost duplicates twice."""
+        return self.stats.acked_series(topology_id, self.duration_s)
+
+    def effective_throughput_per_window(self, topology_id: str) -> float:
+        """Mean acked tuples per window after warmup (trailing partial
+        window excluded) — the delivery-layer counterpart of
+        :meth:`average_throughput_per_window`."""
+        values = []
+        for start, tuples in self.effective_throughput_series(topology_id):
+            if start < self.config.warmup_s:
+                continue
+            if start + self.config.window_s > self.duration_s + 1e-9:
+                continue
+            values.append(tuples)
+        if not values:
+            return 0.0
+        return sum(values) / len(values)
+
     # -- CPU utilisation -----------------------------------------------------------
 
     def cpu_utilisation(self, node_id: str) -> float:
@@ -163,4 +219,24 @@ class SimulationReport:
                 "ack_p50_ms": round(self.ack_latency(topo_id).p50 * 1e3, 3),
                 "worker_crashes": float(self.crashes(topo_id)),
             }
+            if self.config.at_least_once:
+                # Delivery-semantics keys only appear when the layer is
+                # on, keeping default summaries byte-identical.
+                out[topo_id].update(
+                    {
+                        "effective_tuples_per_window": round(
+                            self.effective_throughput_per_window(topo_id), 1
+                        ),
+                        "replayed": float(self.replayed(topo_id)),
+                        "exhausted": float(self.exhausted(topo_id)),
+                        "lost": float(self.lost(topo_id)),
+                        "duplicated": float(self.duplicated(topo_id)),
+                        "replay_amplification": round(
+                            self.replay_amplification(topo_id), 4
+                        ),
+                        "duplicate_rate": round(
+                            self.duplicate_rate(topo_id), 4
+                        ),
+                    }
+                )
         return out

@@ -50,6 +50,12 @@ _MIN_SERVICE_S = 1e-6
 
 _EMIT = 0
 _PROCESS = 1
+_REPLAY = 2
+
+#: Sentinel root id for *ghost* batches — wire-duplicated copies that are
+#: processed (CPU, routing, sink counts) but deliberately invisible to
+#: the acker, so duplicates can never corrupt a tree's delivery count.
+_GHOST_ROOT = -1
 
 #: Hot-path aliases (module-global loads beat enum attribute lookups).
 _INTRA_PROCESS = DistanceLevel.INTRA_PROCESS
@@ -147,18 +153,56 @@ class _TaskRuntime:
         return f"_TaskRuntime({self.task})"
 
 
+class _PendingTree:
+    """Acker state of one in-flight tuple tree.
+
+    Named fields (instead of the old positional list) so the replay path
+    cannot mis-index; ``__slots__`` keeps the per-root allocation as
+    cheap as the list it replaces.
+    """
+
+    __slots__ = ("remaining", "spout", "emitted_at", "tuples", "attempt",
+                 "origin_root")
+
+    def __init__(self, remaining: int, spout: "_TaskRuntime",
+                 emitted_at: float, tuples: int, attempt: int,
+                 origin_root: int):
+        #: outstanding deliveries; the tree acks when this reaches zero.
+        self.remaining = remaining
+        self.spout = spout
+        self.emitted_at = emitted_at
+        self.tuples = tuples
+        #: 0 for an original emission, n for the n-th replay.
+        self.attempt = attempt
+        #: root id of the original emission this tree descends from
+        #: (== the tree's own root id for originals) — the causal link
+        #: the Tracer surfaces for replays.
+        self.origin_root = origin_root
+
+
 class _TopologyRuntime:
     """Per-topology acker state."""
 
-    __slots__ = ("topology", "assignment", "pending", "next_root", "spouts")
+    __slots__ = ("topology", "assignment", "pending", "next_root", "spouts",
+                 "origins_created", "origins_exhausted",
+                 "replays_outstanding")
 
     def __init__(self, topology: Topology, assignment: Assignment):
         self.topology = topology
         self.assignment = assignment
-        #: root id -> [remaining deliveries, spout runtime, emit time, tuples]
-        self.pending: Dict[int, List] = {}
+        #: root id -> in-flight tree, insertion-ordered by emit time.
+        self.pending: Dict[int, _PendingTree] = {}
         self.next_root = itertools.count()
         self.spouts: List[_TaskRuntime] = []
+        # -- at-least-once audit counters (only maintained when the
+        # -- delivery layer is on; see SimulationRun.delivery_audit).
+        #: root tuples whose trees entered the acker
+        self.origins_created = 0
+        #: root tuples explicitly given up on (retries spent, or their
+        #: replay state died with a spout/worker)
+        self.origins_exhausted = 0
+        #: replays scheduled or queued but not yet re-emitted
+        self.replays_outstanding = 0
 
     @property
     def topology_id(self) -> str:
@@ -197,6 +241,9 @@ class SimulationRun:
         self._max_pending = self.config.max_spout_pending
         self._overflow = self.config.queue_overflow_batches
         self._serde_ms = self.config.serde_ms_per_tuple
+        self._at_least_once = self.config.at_least_once
+        self._max_retries = self.config.max_retries
+        self._replay_backoff = self.config.replay_backoff_s
         self._nodes: Dict[str, _NodeRuntime] = {
             node.node_id: _NodeRuntime(node) for node in cluster.nodes
         }
@@ -344,24 +391,30 @@ class SimulationRun:
             raise SimulationError(f"cannot degrade unknown node {node_id!r}")
         node_rt.fault_factor = factor
 
-    def migrate(self, topology_id: str, new_assignment: Assignment) -> None:
+    def migrate(self, topology_id: str, new_assignment: Assignment) -> int:
         """Rebind a topology's tasks to a new assignment immediately.
 
         Tasks whose slot is unchanged keep their queues; moved tasks carry
-        their queued work to the new node (Storm would replay via acking;
-        carrying the queue approximates the post-replay state without
-        simulating the replay traffic).
+        their queued work to the new node.  Without the delivery layer
+        (the default) that carry approximates the post-replay state
+        without simulating the replay traffic; with ``at_least_once`` on,
+        trees stranded by the move genuinely time out and replay.
+
+        Returns the number of tasks that changed slot — the reassignment
+        churn the RecoveryMonitor reports per recovery.
         """
         topo_rt = self._topology_runtime(topology_id)
         if not new_assignment.is_complete(topo_rt.topology):
             raise SchedulingError(
                 f"migration assignment for {topology_id!r} is incomplete"
             )
+        moved = 0
         for task in topo_rt.topology.tasks:
             rt = self._task_runtimes[task]
             new_slot = new_assignment.slot_of(task)
             if new_slot == rt.slot:
                 continue
+            moved += 1
             new_node = self._nodes.get(new_slot.node_id)
             if new_node is None:
                 raise SimulationError(
@@ -389,6 +442,7 @@ class SimulationRun:
         for spout in topo_rt.spouts:
             if spout.alive:
                 self._try_emit(spout)
+        return moved
 
     # -- failure ------------------------------------------------------------------
 
@@ -399,6 +453,8 @@ class SimulationRun:
         node_rt.node.fail()
         for rt in node_rt.tasks:
             rt.alive = False
+            if self._at_least_once and rt.is_spout and rt.work:
+                self._abandon_queued_replays(rt)
             rt.work.clear()
             rt.queued = False
             # A spout killed mid-emit must not stay blocked forever: its
@@ -475,6 +531,8 @@ class SimulationRun:
         ``worker_restart_s``.  In-flight roots routed through it will
         time out, returning spout credit (or just counting as failed)."""
         task.alive = False
+        if self._at_least_once and task.is_spout and task.work:
+            self._abandon_queued_replays(task)
         task.work.clear()
         task.emit_blocked = False
         task.emit_timer_set = False
@@ -525,6 +583,12 @@ class SimulationRun:
         if kind == _EMIT:
             tuples = profile.emit_batch_tuples
             per_tuple_ms = profile.cpu_ms_per_tuple
+        elif kind == _REPLAY:
+            # Re-emitting a failed tree costs the spout the same CPU as
+            # emitting it the first time: payload is (tuples, attempt,
+            # origin_root).
+            tuples = payload[0]
+            per_tuple_ms = profile.cpu_ms_per_tuple
         else:
             tuples = payload[1]
             per_tuple_ms = profile.cpu_ms_per_tuple
@@ -552,8 +616,15 @@ class SimulationRun:
         if task.alive and node_rt.node.alive:
             if kind == _EMIT:
                 self._finish_emit(task)
+            elif kind == _REPLAY:
+                self._finish_replay(task, payload)
             else:
                 self._finish_process(task, payload)
+        elif kind == _REPLAY:
+            # The spout (or its node) died while this replay was being
+            # serviced: the retry state is gone with the worker, so the
+            # origin resolves as explicitly exhausted, never silently.
+            self._abandon_replay(task.topo, payload[0])
         if task.alive and task.work and not task.queued and not task.running:
             task.queued = True
             task.node.ready.append(task)
@@ -574,8 +645,12 @@ class SimulationRun:
         self.stats.record_emitted(topo.topology_id, tuples)
         deliveries = self._route(spout, tuples, root_id)
         if deliveries:
-            topo.pending[root_id] = [deliveries, spout, now, tuples]
+            topo.pending[root_id] = _PendingTree(
+                deliveries, spout, now, tuples, 0, root_id
+            )
             spout.inflight += 1
+            if self._at_least_once:
+                topo.origins_created += 1
         else:
             # A spout with no subscribers is its own sink.
             self.stats.record_sink(
@@ -606,14 +681,108 @@ class SimulationRun:
             )
         entry = topo.pending.get(root_id)
         if entry is None:
-            return  # root already timed out; late tuples are discarded
-        entry[0] += children - 1
-        if entry[0] <= 0:
+            # Root already timed out, or this is a ghost batch (a wire
+            # duplicate riding root ``_GHOST_ROOT``): late/duplicate
+            # tuples are discarded by the acker.
+            return
+        entry.remaining += children - 1
+        if entry.remaining <= 0:
             del topo.pending[root_id]
-            spout: _TaskRuntime = entry[1]
+            spout = entry.spout
             spout.inflight -= 1
-            self.stats.record_ack(topo.topology_id, now - entry[2])
+            self.stats.record_ack(topo.topology_id, now - entry.emitted_at)
+            if self._at_least_once:
+                self.stats.record_acked_tuples(
+                    topo.topology_id, now, entry.tuples
+                )
             self._try_emit(spout)
+
+    # -- at-least-once replay ---------------------------------------------------------------
+
+    def _start_replay(
+        self, spout: _TaskRuntime, tuples: int, attempt: int,
+        origin_root: int,
+    ) -> None:
+        """Backoff timer fired: queue the replay on its spout.
+
+        Replays bypass the ``max_spout_pending`` gate (Storm's spout
+        replays failed tuples ahead of new emissions) but still consume
+        credit once re-emitted, so in-flight work stays bounded by
+        cap + outstanding replays.
+        """
+        if not spout.alive or not spout.node.node.alive:
+            # The spout's worker (and with it the retry buffer) is gone;
+            # the origin is explicitly exhausted, not silently dropped.
+            self._abandon_replay(spout.topo, tuples)
+            return
+        self._push_work(spout, _REPLAY, (tuples, attempt, origin_root))
+
+    def _finish_replay(self, spout: _TaskRuntime, payload) -> int:
+        """Re-emit a failed tree under a *fresh* root id.
+
+        A new id (from the same monotonic counter) keeps ``pending``
+        insertion-ordered by emit time — the invariant the timeout
+        sweep's early-exit scan depends on — and lets the Tracer link
+        the replay to ``origin_root`` causally.  Returns the new root id.
+        """
+        tuples, attempt, origin_root = payload
+        topo = spout.topo
+        now = self.sim.now
+        root_id = next(topo.next_root)
+        self.stats.record_replayed(topo.topology_id, tuples)
+        deliveries = self._route(spout, tuples, root_id)
+        topo.replays_outstanding -= 1
+        if deliveries:
+            topo.pending[root_id] = _PendingTree(
+                deliveries, spout, now, tuples, attempt, origin_root
+            )
+            spout.inflight += 1
+        else:  # pragma: no cover - a spout with consumers always routes
+            topo.origins_exhausted += 1
+            self.stats.record_exhausted(topo.topology_id, tuples)
+        return root_id
+
+    def _abandon_replay(self, topo: _TopologyRuntime, tuples: int) -> None:
+        """Resolve an outstanding replay whose spout died: the origin is
+        counted as exhausted so the at-least-once audit stays closed."""
+        topo.replays_outstanding -= 1
+        topo.origins_exhausted += 1
+        self.stats.record_exhausted(topo.topology_id, tuples)
+
+    def _abandon_queued_replays(self, spout: _TaskRuntime) -> None:
+        """Scan a dying spout's work queue for not-yet-serviced replays
+        and resolve each as exhausted (callers clear the queue next)."""
+        topo = spout.topo
+        for kind, payload in spout.work:
+            if kind == _REPLAY:
+                self._abandon_replay(topo, payload[0])
+
+    def delivery_audit(self) -> Dict[str, Dict[str, int]]:
+        """Per-topology at-least-once ledger (for tests/diagnostics).
+
+        Invariant while ``at_least_once`` is on::
+
+            origins_created == origins_acked + origins_exhausted
+                               + pending + replays_outstanding
+
+        i.e. every root tuple ever admitted to the acker is acked,
+        explicitly exhausted, or still accounted for in flight — nothing
+        is silently dropped.
+        """
+        audit: Dict[str, Dict[str, int]] = {}
+        for topo_rt in self._topologies:
+            topo_id = topo_rt.topology_id
+            audit[topo_id] = {
+                "origins_created": topo_rt.origins_created,
+                "origins_acked": len(self.stats.ack_latencies(topo_id)),
+                "origins_exhausted": topo_rt.origins_exhausted,
+                "pending": len(topo_rt.pending),
+                "replays_outstanding": topo_rt.replays_outstanding,
+                "spout_inflight": sum(
+                    spout.inflight for spout in topo_rt.spouts
+                ),
+            }
+        return audit
 
     # -- routing --------------------------------------------------------------------------
 
@@ -645,7 +814,9 @@ class SimulationRun:
         # Hoisted bound methods: one lookup per routed batch instead of
         # one per delivery.  ``self._deliver`` is looked up here (not at
         # construction) so an installed Tracer still intercepts it.
-        transfer = self.transfer.transfer
+        transfer_model = self.transfer
+        transfer = transfer_model.transfer
+        lossy = transfer_model.lossy
         schedule_at = self.sim.schedule_at
         deliver = self._deliver
         record_nic = self.stats.record_nic
@@ -667,8 +838,40 @@ class SimulationRun:
                 )
                 if remote[idx]:
                     record_nic(producer_node_id, num_bytes)
-                schedule_at(arrival, deliver, consumer, root_id, tuples, level)
                 deliveries += 1
+                if lossy:
+                    copies = transfer_model.copies(
+                        producer_node_id, consumer.slot.node_id, level
+                    )
+                    if copies == 0:
+                        # Lost on the trunk: the bandwidth was spent and
+                        # the acker still expects this delivery (it was
+                        # counted above), so the tree can only resolve by
+                        # timing out — exactly Storm's failure mode.
+                        self.stats.record_lost(
+                            producer.topo.topology_id, tuples
+                        )
+                        continue
+                    if copies == 2:
+                        # Wire duplicate: a second, fully-costed transfer
+                        # whose delivery rides the ghost root, so it is
+                        # processed downstream but invisible to the acker
+                        # (the at-least-once dedup) — it inflates raw
+                        # sink throughput, not effective throughput.
+                        dup_arrival = transfer(
+                            now, producer_node_id, consumer.slot.node_id,
+                            level, num_bytes,
+                        )
+                        if remote[idx]:
+                            record_nic(producer_node_id, num_bytes)
+                        self.stats.record_duplicate(
+                            producer.topo.topology_id, tuples
+                        )
+                        schedule_at(
+                            dup_arrival, deliver, consumer, _GHOST_ROOT,
+                            tuples, level,
+                        )
+                schedule_at(arrival, deliver, consumer, root_id, tuples, level)
         return deliveries
 
     def _deliver(
@@ -699,15 +902,32 @@ class SimulationRun:
         # in-flight batch each period.
         expired = []
         for root, entry in topo_rt.pending.items():
-            if entry[2] <= cutoff:
+            if entry.emitted_at <= cutoff:
                 expired.append(root)
             else:
                 break
+        at_least_once = self._at_least_once
         for root in expired:
             entry = topo_rt.pending.pop(root)
-            spout: _TaskRuntime = entry[1]
+            spout = entry.spout
             spout.inflight -= 1
-            self.stats.record_failed(topo_rt.topology_id, entry[3])
+            self.stats.record_failed(topo_rt.topology_id, entry.tuples)
+            if at_least_once:
+                if entry.attempt < self._max_retries:
+                    # Exponential backoff before the spout re-emits; the
+                    # replay is accounted as outstanding from this moment
+                    # so the audit never loses sight of the origin.
+                    topo_rt.replays_outstanding += 1
+                    self.sim.schedule_after(
+                        self._replay_backoff * (2.0 ** entry.attempt),
+                        self._start_replay, spout, entry.tuples,
+                        entry.attempt + 1, entry.origin_root,
+                    )
+                else:
+                    topo_rt.origins_exhausted += 1
+                    self.stats.record_exhausted(
+                        topo_rt.topology_id, entry.tuples
+                    )
             if spout.alive:
                 self._try_emit(spout)
         self.sim.schedule_after(period, self._sweep, topo_rt, period)

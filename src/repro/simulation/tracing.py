@@ -36,7 +36,7 @@ class TraceEvent:
         time: Simulated time in seconds.
         kind: ``emit`` | ``deliver`` | ``ack`` | ``fail`` | ``crash`` |
             ``migrate`` | ``node_down`` | ``node_up`` | ``inject`` |
-            ``expire`` | ``reschedule``.
+            ``expire`` | ``reschedule`` | ``replay``.
         topology: Topology id (empty for cluster-level events).
         detail: Human-readable specifics (task, node, counts).
     """
@@ -55,7 +55,7 @@ class Tracer:
 
     KINDS = (
         "emit", "deliver", "ack", "fail", "crash", "migrate", "node_down",
-        "node_up", "inject", "expire", "reschedule",
+        "node_up", "inject", "expire", "reschedule", "replay",
     )
 
     def __init__(self, capacity: int = 100_000):
@@ -103,6 +103,23 @@ class Tracer:
 
         run._finish_emit = traced_finish_emit
 
+        original_finish_replay = run._finish_replay
+
+        def traced_finish_replay(spout, payload):
+            # Record *after* the call so the fresh root id is known —
+            # the causal link from replay back to its original root.
+            new_root = original_finish_replay(spout, payload)
+            tracer.record(
+                run.sim.now,
+                "replay",
+                spout.topo.topology_id,
+                f"root={new_root} origin={payload[2]} attempt={payload[1]} "
+                f"tuples={payload[0]}",
+            )
+            return new_root
+
+        run._finish_replay = traced_finish_replay
+
         original_deliver = run._deliver
 
         def traced_deliver(consumer, root_id, tuples, level):
@@ -148,13 +165,16 @@ class Tracer:
         original_migrate = run.migrate
 
         def traced_migrate(topology_id, new_assignment):
+            # Call first: the migration's return value is its churn
+            # (tasks that changed slot), recorded in the event detail.
+            moved = original_migrate(topology_id, new_assignment)
             tracer.record(
                 run.sim.now,
                 "migrate",
                 topology_id,
-                f"onto {len(new_assignment.nodes)} nodes",
+                f"onto {len(new_assignment.nodes)} nodes, moved={moved}",
             )
-            return original_migrate(topology_id, new_assignment)
+            return moved
 
         run.migrate = traced_migrate
 
@@ -179,6 +199,7 @@ class Tracer:
         stats.record_failed = traced_failed
         self._wrapped = [
             (run, "_finish_emit"),
+            (run, "_finish_replay"),
             (run, "_deliver"),
             (run, "_crash_task"),
             (run, "_fail_node"),

@@ -20,6 +20,7 @@ EXPECTED_NAMES = {
     "sched-aniello",
     "sched-scale",
     "chaos-replay",
+    "delivery-replay",
     "fig9-e2e",
 }
 

@@ -27,6 +27,21 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["fig99"])
 
+    def test_delivery_flags_default_off(self):
+        args = build_parser().parse_args(["chaos"])
+        assert args.loss_rate == 0.0
+        assert args.max_retries == 3
+        assert args.quarantine is False
+
+    def test_delivery_flags_parsed(self):
+        args = build_parser().parse_args(
+            ["chaos", "--loss-rate", "0.05", "--max-retries", "5",
+             "--quarantine"]
+        )
+        assert args.loss_rate == 0.05
+        assert args.max_retries == 5
+        assert args.quarantine is True
+
 
 class TestMain:
     def test_list(self, capsys):
@@ -39,6 +54,32 @@ class TestMain:
         out = capsys.readouterr().out
         assert "overhead" in out
         assert "r-storm_ms" in out
+
+    def test_chaos_flags_threaded_to_runner(self, monkeypatch, capsys):
+        from repro import cli
+        from repro.experiments.harness import ExperimentResult
+
+        captured = {}
+
+        def fake_run(duration_s, context, loss_rate, max_retries, quarantine):
+            captured.update(
+                duration_s=duration_s,
+                loss_rate=loss_rate,
+                max_retries=max_retries,
+                quarantine=quarantine,
+            )
+            result = ExperimentResult("chaos", "stub")
+            result.add_row(scenario="stub")
+            return result
+
+        monkeypatch.setitem(cli.REGISTRY, "chaos", fake_run)
+        assert main(
+            ["chaos", "--duration", "30", "--loss-rate", "0.2",
+             "--max-retries", "1", "--quarantine"]
+        ) == 0
+        assert captured == dict(
+            duration_s=30.0, loss_rate=0.2, max_retries=1, quarantine=True
+        )
 
     def test_save_writes_table_and_series(self, tmp_path, capsys):
         from repro.cli import save_result

@@ -126,3 +126,66 @@ class TestExperiment:
                 "migrations",
             } <= set(row)
         assert len(result.series) == 6
+
+    def test_default_rows_have_no_delivery_columns(self):
+        result = fault_recovery.run(duration_s=60.0)
+        for row in result.rows:
+            assert "replayed" not in row
+            assert "quarantined" not in row
+
+
+class TestExtendedMode:
+    def test_loss_rate_adds_lossy_link_scenario(self):
+        result = fault_recovery.run(duration_s=60.0, loss_rate=0.1)
+        scenarios = {row["scenario"] for row in result.rows}
+        assert "lossy-link" in scenarios
+        assert "flapping-node" not in scenarios
+        assert len(result.rows) == 8
+        for row in result.rows:
+            assert {
+                "tasks_moved", "replayed", "exhausted", "lost",
+                "duplicated", "drain_s", "quarantined",
+            } <= set(row)
+
+    def test_quarantine_adds_flapping_node_scenario(self):
+        result = fault_recovery.run(duration_s=120.0, quarantine=True)
+        rows = {
+            (row["scenario"], row["scheduler"]): row for row in result.rows
+        }
+        assert len(result.rows) == 8
+        for scheduler in ("r-storm", "default"):
+            flapping = rows[("flapping-node", scheduler)]
+            # the third observed flap trips the default threshold
+            assert flapping["quarantined"] == 1
+
+    def test_lossy_link_loses_and_replays_on_default_scheduler(self):
+        result = fault_recovery.run(duration_s=120.0, loss_rate=0.05)
+        rows = {
+            (row["scenario"], row["scheduler"]): row for row in result.rows
+        }
+        lossy_default = rows[("lossy-link", "default")]
+        # the default schedule crosses the lossy trunk: traffic is lost,
+        # duplicated, and replayed
+        assert lossy_default["lost"] > 0
+        assert lossy_default["duplicated"] > 0
+        assert lossy_default["replayed"] > 0
+
+    def test_extended_quarantine_flag_changes_the_cache_key(self):
+        import dataclasses
+
+        base = small_unit()
+        flagged = dataclasses.replace(base, quarantine=True)
+        assert cache_key(base.cache_token()) != cache_key(
+            flagged.cache_token()
+        )
+
+    def test_lossy_link_builder_needs_two_racks(self):
+        cluster = single_rack_cluster(
+            3,
+            capacity=ResourceVector.of(
+                memory_mb=2048.0, cpu=100.0, bandwidth_mbps=100.0
+            ),
+        )
+        build = fault_recovery.lossy_link()
+        with pytest.raises(ValueError, match="two racks"):
+            build(cluster, {})

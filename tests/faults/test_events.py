@@ -66,7 +66,7 @@ class TestShape:
 
     def test_kinds_are_unique_and_registered(self):
         kinds = [kind for kind, _ in EVENT_KINDS]
-        assert len(kinds) == len(set(kinds)) == 5
+        assert len(kinds) == len(set(kinds)) == 6
 
     def test_describe_names_the_target(self):
         assert "node-0-3" in NodeCrash(at=1.0, node_id="node-0-3").describe()

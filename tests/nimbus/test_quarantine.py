@@ -1,0 +1,164 @@
+"""Nimbus quarantine: flap tracking, exclusion, partial reassignment.
+
+These tests drive ``schedule_round(now)`` by hand, failing and
+recovering nodes directly (no supervisors registered, so membership
+reconciliation stays out of the way) — the pure quarantine state
+machine, isolated from the heartbeat plane.
+"""
+
+import pytest
+
+from repro.cluster import emulab_testbed
+from repro.nimbus.config import StormConfig
+from repro.nimbus.nimbus import Nimbus
+from repro.scheduler.default import DefaultScheduler
+from repro.scheduler.rstorm import RStormScheduler
+from tests.conftest import make_linear
+
+QUARANTINE_CONFIG = {
+    "nimbus.quarantine.enabled": True,
+    "nimbus.quarantine.threshold": 3,
+    "nimbus.quarantine.window.secs": 120.0,
+    "nimbus.quarantine.probation.secs": 60.0,
+}
+
+
+def build(scheduler_cls=RStormScheduler, overrides=None):
+    cluster = emulab_testbed()
+    nimbus = Nimbus(
+        cluster,
+        scheduler=scheduler_cls(),
+        config=StormConfig(dict(QUARANTINE_CONFIG, **(overrides or {}))),
+    )
+    topology = make_linear()
+    nimbus.submit_topology(topology)
+    nimbus.schedule_round(0.0)
+    return cluster, nimbus, topology
+
+
+def flap(cluster, nimbus, victim, down_at, up_at):
+    """One crash/observe/rejoin/observe cycle."""
+    cluster.node(victim).fail()
+    nimbus.schedule_round(down_at)
+    cluster.node(victim).recover()
+    nimbus.schedule_round(up_at)
+
+
+def a_used_node(nimbus, topology_id):
+    return sorted(nimbus.assignments[topology_id].nodes)[0]
+
+
+class TestFlapTracking:
+    def test_three_flaps_quarantine_the_node(self):
+        cluster, nimbus, topology = build()
+        victim = a_used_node(nimbus, topology.topology_id)
+        flap(cluster, nimbus, victim, 10.0, 15.0)
+        flap(cluster, nimbus, victim, 20.0, 25.0)
+        assert victim not in nimbus.quarantined
+        flap(cluster, nimbus, victim, 30.0, 35.0)
+        assert victim in nimbus.quarantined
+        assert nimbus.quarantine_events == [(30.0, victim)]
+
+    def test_staying_down_is_one_flap_not_many(self):
+        cluster, nimbus, topology = build()
+        victim = a_used_node(nimbus, topology.topology_id)
+        cluster.node(victim).fail()
+        for now in (10.0, 20.0, 30.0, 40.0):
+            nimbus.schedule_round(now)
+        # only the alive->dead edge counts, not every round spent dead
+        assert len(nimbus.flap_history[victim]) == 1
+        assert victim not in nimbus.quarantined
+
+    def test_flaps_outside_window_do_not_accumulate(self):
+        cluster, nimbus, topology = build(
+            overrides={"nimbus.quarantine.window.secs": 20.0}
+        )
+        victim = a_used_node(nimbus, topology.topology_id)
+        flap(cluster, nimbus, victim, 10.0, 15.0)
+        flap(cluster, nimbus, victim, 50.0, 55.0)
+        flap(cluster, nimbus, victim, 90.0, 95.0)
+        # each flap ages out of the 20 s window before the next one
+        assert victim not in nimbus.quarantined
+
+    def test_disabled_by_default_never_quarantines(self):
+        cluster = emulab_testbed()
+        nimbus = Nimbus(cluster, scheduler=RStormScheduler())
+        topology = make_linear()
+        nimbus.submit_topology(topology)
+        nimbus.schedule_round(0.0)
+        victim = a_used_node(nimbus, topology.topology_id)
+        for i in range(4):
+            flap(cluster, nimbus, victim, 10.0 * i + 10.0, 10.0 * i + 15.0)
+        assert nimbus.quarantined == {}
+        assert nimbus.quarantine_events == []
+
+
+class TestExclusionAndRelease:
+    def test_quarantined_node_excluded_while_alive(self):
+        cluster, nimbus, topology = build()
+        victim = a_used_node(nimbus, topology.topology_id)
+        for i in range(3):
+            flap(cluster, nimbus, victim, 10.0 * i + 10.0, 10.0 * i + 15.0)
+        assert cluster.node(victim).alive
+        # a fresh topology scheduled during quarantine must avoid it
+        extra = make_linear("extra")
+        nimbus.submit_topology(extra)
+        nimbus.schedule_round(40.0)
+        assert victim not in nimbus.assignments["extra"].nodes
+        # masking is temporary: the node is alive again after the round
+        assert cluster.node(victim).alive
+
+    def test_probation_release_clears_history(self):
+        cluster, nimbus, topology = build()
+        victim = a_used_node(nimbus, topology.topology_id)
+        for i in range(3):
+            flap(cluster, nimbus, victim, 10.0 * i + 10.0, 10.0 * i + 15.0)
+        assert victim in nimbus.quarantined
+        release_at = nimbus.quarantined[victim]
+        nimbus.schedule_round(release_at + 1.0)
+        assert victim not in nimbus.quarantined
+        assert victim not in nimbus.flap_history
+        # the node is schedulable again: a fresh topology may use it
+        extra = make_linear("extra")
+        nimbus.submit_topology(extra)
+        nimbus.schedule_round(release_at + 2.0)
+        assert nimbus.assignments["extra"].is_complete(extra)
+
+
+@pytest.mark.parametrize(
+    "scheduler_cls", [RStormScheduler, DefaultScheduler],
+    ids=["r-storm", "default"],
+)
+class TestPartialReassignment:
+    def test_only_victim_tasks_move(self, scheduler_cls):
+        """The rebalance invariant: a recovery round moves only tasks
+        from the dead node; every healthy placement survives as-is."""
+        cluster, nimbus, topology = build(scheduler_cls)
+        before = nimbus.assignments[topology.topology_id]
+        victim = a_used_node(nimbus, topology.topology_id)
+        victim_tasks = set(before.tasks_on_node(victim))
+        assert victim_tasks
+        cluster.node(victim).fail()
+        nimbus.schedule_round(10.0)
+        after = nimbus.assignments[topology.topology_id]
+        assert after.is_complete(topology)
+        moved = {
+            task for task in topology.tasks
+            if before.slot_of(task) != after.slot_of(task)
+        }
+        assert moved == victim_tasks
+        assert victim not in after.nodes
+
+    def test_quarantine_round_strands_no_healthy_tasks(self, scheduler_cls):
+        cluster, nimbus, topology = build(scheduler_cls)
+        victim = a_used_node(nimbus, topology.topology_id)
+        for i in range(3):
+            flap(cluster, nimbus, victim, 10.0 * i + 10.0, 10.0 * i + 15.0)
+        before = nimbus.assignments[topology.topology_id]
+        nimbus.schedule_round(45.0)
+        after = nimbus.assignments[topology.topology_id]
+        # nothing to re-place: the quarantine round is a no-op migration
+        assert all(
+            before.slot_of(task) == after.slot_of(task)
+            for task in topology.tasks
+        )
