@@ -1,6 +1,6 @@
 """The benchmark registry: what ``repro bench`` measures.
 
-Eight probes, ordered cheapest first:
+Ten probes, ordered cheapest first:
 
 * ``engine-churn`` — raw DES event loop: payload-carrying events that
   perpetually reschedule themselves through the heap.
@@ -22,6 +22,10 @@ Eight probes, ordered cheapest first:
   replayed from the extended chaos ``lossy-link`` scenario.
 * ``fig9-e2e`` — the six fig9 work units end to end at ``--duration
   60``: schedule + simulate, the wall-clock the figure suite pays.
+* ``traffic-overload`` — the open-loop traffic layer at 1.5x nominal
+  capacity: Poisson arrival scheduling, per-arrival key assignment, and
+  the end-to-end latency digest, on an R-Storm-packed mid-size linear
+  topology deliberately driven past saturation.
 
 Every probe's event count is a deterministic function of the constants
 below; changing them invalidates the committed baselines (see
@@ -68,6 +72,15 @@ FIG9_DURATION_S = 60.0
 #: chain and would dodge the loss entirely).
 DELIVERY_REPLAY_DURATION_S = 180.0
 DELIVERY_REPLAY_MAX_RETRIES = 3
+
+#: The open-loop traffic probe: a parallelism-8 compute linear chain
+#: (32 tasks on the 12-node testbed) offered Poisson traffic at 1.5x
+#: the closed-loop rate cap — deep enough past saturation to exercise
+#: the backlog path, with keys flowing so the Zipf generator and the
+#: fields-grouped first hop are on the measured path.
+TRAFFIC_OVERLOAD_DURATION_S = 120.0
+TRAFFIC_OVERLOAD_MULTIPLIER = 1.5
+TRAFFIC_OVERLOAD_PARALLELISM = 8
 
 #: The large-cluster scaling probe: 8 racks x 64 production-size nodes
 #: (16 GB / 8 cores / 1 Gbps each) scheduling five concurrent
@@ -355,6 +368,41 @@ def _prepare_fig9_e2e() -> Callable[[], int]:
     return workload
 
 
+def _prepare_traffic_overload() -> Callable[[], int]:
+    from repro.cluster.builders import emulab_testbed
+    from repro.experiments.overload import (
+        BASE_RATE_TPS,
+        keyed_linear_topology,
+    )
+    from repro.experiments.parallel import SimulationUnit, spec
+    from repro.scheduler.rstorm import RStormScheduler
+    from repro.simulation.config import SimulationConfig
+    from repro.traffic.arrivals import PoissonArrivals
+    from repro.traffic.keys import ZipfKeys
+
+    unit = SimulationUnit(
+        scheduler=spec(RStormScheduler),
+        topologies=(
+            spec(keyed_linear_topology, TRAFFIC_OVERLOAD_PARALLELISM),
+        ),
+        cluster=spec(emulab_testbed),
+        config=SimulationConfig(
+            duration_s=TRAFFIC_OVERLOAD_DURATION_S,
+            warmup_s=15.0,
+            arrival_process=PoissonArrivals(
+                rate_tps=BASE_RATE_TPS * TRAFFIC_OVERLOAD_MULTIPLIER
+            ),
+            arrival_keys=ZipfKeys(num_keys=64, exponent=1.4),
+        ),
+        label="bench:traffic-overload",
+    )
+
+    def workload() -> int:
+        return unit.execute().report.events_processed
+
+    return workload
+
+
 REGISTRY: Dict[str, Benchmark] = {
     bench.name: bench
     for bench in (
@@ -440,6 +488,17 @@ REGISTRY: Dict[str, Benchmark] = {
             ),
             prepare=_prepare_fig9_e2e,
             repeats=2,
+        ),
+        Benchmark(
+            name="traffic-overload",
+            description=(
+                "open-loop traffic layer: Poisson arrivals at "
+                f"{TRAFFIC_OVERLOAD_MULTIPLIER:g}x capacity with Zipf "
+                "keys on an R-Storm-packed keyed linear topology, "
+                f"{TRAFFIC_OVERLOAD_DURATION_S:g} simulated s"
+            ),
+            prepare=_prepare_traffic_overload,
+            repeats=3,
         ),
     )
 }

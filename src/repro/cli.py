@@ -6,6 +6,7 @@ Usage::
     python -m repro fig8 [--duration 120]
     python -m repro chaos [--duration 120]    # fault-injection recovery study
     python -m repro chaos --loss-rate 0.05 --quarantine   # delivery semantics
+    python -m repro traffic [--duration 120]  # open-loop overload sweep
     python -m repro all [--duration 120] [--series] [--save results/]
     python -m repro all --jobs 4              # fan misses out over processes
     python -m repro all --no-cache            # force fresh simulations

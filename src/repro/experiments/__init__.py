@@ -10,6 +10,7 @@ from repro.experiments import (
     fig10_cpu_utilization,
     fig12_yahoo,
     fig13_multi_topology,
+    overload,
     scalability,
     scheduling_overhead,
     weight_sweep,
@@ -45,6 +46,7 @@ REGISTRY: Dict[str, Callable[..., ExperimentResult]] = {
     "weights": weight_sweep.run,
     "scalability": scalability.run,
     "chaos": fault_recovery.run,
+    "traffic": overload.run,
 }
 
 __all__ = [

@@ -18,6 +18,8 @@ import math
 from collections import defaultdict
 from typing import Dict, List, Optional, Tuple
 
+from repro.traffic.percentiles import TailDigest
+
 __all__ = ["StatisticServer"]
 
 
@@ -75,6 +77,16 @@ class StatisticServer:
         self._acked_windows: Dict[Tuple[str, int], int] = defaultdict(int)
         #: topology -> total tuples in acked trees
         self._acked_totals: Dict[str, int] = defaultdict(int)
+        # -- open-loop traffic counters (arrival_process runs only; all
+        # -- stay empty on default closed-loop runs).
+        #: (topology, window_index) -> tuples offered by arrivals
+        self._offered_windows: Dict[Tuple[str, int], int] = defaultdict(int)
+        #: topology -> total offered tuples
+        self._offered_totals: Dict[str, int] = defaultdict(int)
+        #: topology -> tuples that arrived while their spout was down
+        self._arrivals_dropped: Dict[str, int] = defaultdict(int)
+        #: topology -> end-to-end (arrival -> full ack) latency digest
+        self._e2e_digests: Dict[str, TailDigest] = {}
 
     # -- recording ---------------------------------------------------------
 
@@ -138,6 +150,20 @@ class StatisticServer:
         w = int(time / self.window_s)
         self._acked_windows[(topology_id, w)] += tuples
         self._acked_totals[topology_id] += tuples
+
+    def record_offered(self, topology_id: str, time: float, tuples: int) -> None:
+        w = int(time / self.window_s)
+        self._offered_windows[(topology_id, w)] += tuples
+        self._offered_totals[topology_id] += tuples
+
+    def record_arrival_dropped(self, topology_id: str, tuples: int) -> None:
+        self._arrivals_dropped[topology_id] += tuples
+
+    def record_e2e_latency(self, topology_id: str, latency_s: float) -> None:
+        digest = self._e2e_digests.get(topology_id)
+        if digest is None:
+            digest = self._e2e_digests[topology_id] = TailDigest()
+        digest.add(latency_s)
 
     # -- raw views --------------------------------------------------------
 
@@ -217,6 +243,28 @@ class StatisticServer:
             (w * self.window_s, self._acked_windows.get((topology_id, w), 0))
             for w in range(num_windows)
         ]
+
+    def offered_total(self, topology_id: str) -> int:
+        return self._offered_totals.get(topology_id, 0)
+
+    def arrivals_dropped_total(self, topology_id: str) -> int:
+        return self._arrivals_dropped.get(topology_id, 0)
+
+    def offered_series(
+        self, topology_id: str, duration_s: float
+    ) -> List[Tuple[float, int]]:
+        """(window_start_s, offered tuples) for every window — the
+        open-loop counterpart of :meth:`throughput_series`."""
+        num_windows = int(math.ceil(duration_s / self.window_s))
+        return [
+            (w * self.window_s, self._offered_windows.get((topology_id, w), 0))
+            for w in range(num_windows)
+        ]
+
+    def e2e_digest(self, topology_id: str) -> Optional[TailDigest]:
+        """The end-to-end latency digest, or ``None`` if no open-loop
+        batch has fully acked for this topology."""
+        return self._e2e_digests.get(topology_id)
 
     def crash_total(self, topology_id: str) -> int:
         return sum(

@@ -14,8 +14,9 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.simulation.config import SimulationConfig
 from repro.simulation.metrics import StatisticServer
+from repro.traffic.percentiles import TailDigest
 
-__all__ = ["SimulationReport", "LatencyStats"]
+__all__ = ["SimulationReport", "LatencyStats", "TailLatency"]
 
 
 @dataclass(frozen=True)
@@ -42,6 +43,31 @@ class LatencyStats:
             mean=sum(ordered) / len(ordered),
             p50=percentile(0.50),
             p99=percentile(0.99),
+        )
+
+
+@dataclass(frozen=True)
+class TailLatency:
+    """End-to-end (arrival -> full ack) latency summary in seconds,
+    estimated from a bounded-memory :class:`TailDigest` — the open-loop
+    metric the mean hides: past saturation p999 explodes first."""
+
+    count: int
+    mean: float
+    p50: float
+    p99: float
+    p999: float
+
+    @classmethod
+    def from_digest(cls, digest: Optional[TailDigest]) -> "TailLatency":
+        if digest is None or digest.count == 0:
+            return cls(count=0, mean=0.0, p50=0.0, p99=0.0, p999=0.0)
+        return cls(
+            count=digest.count,
+            mean=digest.mean(),
+            p50=digest.quantile(0.50),
+            p99=digest.quantile(0.99),
+            p999=digest.quantile(0.999),
         )
 
 
@@ -162,6 +188,51 @@ class SimulationReport:
             return 0.0
         return sum(values) / len(values)
 
+    # -- open-loop traffic --------------------------------------------------------
+
+    def offered(self, topology_id: str) -> int:
+        """Total tuples the arrival process offered (open loop only)."""
+        return self.stats.offered_total(topology_id)
+
+    def arrivals_dropped(self, topology_id: str) -> int:
+        """Tuples that arrived while their spout's worker was down."""
+        return self.stats.arrivals_dropped_total(topology_id)
+
+    def offered_series(self, topology_id: str) -> List[Tuple[float, int]]:
+        """(window_start_s, offered tuples) for the whole run."""
+        return self.stats.offered_series(topology_id, self.duration_s)
+
+    def offered_per_window(self, topology_id: str) -> float:
+        """Mean offered tuples per metrics window after warmup
+        (trailing partial window excluded) — what the run was asked to
+        sustain, vs :meth:`average_throughput_per_window` (what it did)."""
+        values = []
+        for start, tuples in self.offered_series(topology_id):
+            if start < self.config.warmup_s:
+                continue
+            if start + self.config.window_s > self.duration_s + 1e-9:
+                continue
+            values.append(tuples)
+        if not values:
+            return 0.0
+        return sum(values) / len(values)
+
+    def achieved_ratio(self, topology_id: str) -> float:
+        """Steady-state sink throughput over offered load.
+
+        ~1.0 while the placement keeps up; falls below 1.0 past
+        saturation (queues absorb the difference until workers crash).
+        0.0 when nothing was offered.
+        """
+        offered = self.offered_per_window(topology_id)
+        if offered <= 0:
+            return 0.0
+        return self.average_throughput_per_window(topology_id) / offered
+
+    def e2e_latency(self, topology_id: str) -> TailLatency:
+        """End-to-end (arrival -> full ack) latency percentiles."""
+        return TailLatency.from_digest(self.stats.e2e_digest(topology_id))
+
     # -- CPU utilisation -----------------------------------------------------------
 
     def cpu_utilisation(self, node_id: str) -> float:
@@ -237,6 +308,27 @@ class SimulationReport:
                         "duplicate_rate": round(
                             self.duplicate_rate(topo_id), 4
                         ),
+                    }
+                )
+            if self.config.arrival_process is not None:
+                # Traffic keys only appear on open-loop runs, keeping
+                # default summaries byte-identical.
+                latency = self.e2e_latency(topo_id)
+                out[topo_id].update(
+                    {
+                        "offered": float(self.offered(topo_id)),
+                        "offered_tuples_per_window": round(
+                            self.offered_per_window(topo_id), 1
+                        ),
+                        "achieved_ratio": round(
+                            self.achieved_ratio(topo_id), 4
+                        ),
+                        "arrivals_dropped": float(
+                            self.arrivals_dropped(topo_id)
+                        ),
+                        "e2e_p50_ms": round(latency.p50 * 1e3, 3),
+                        "e2e_p99_ms": round(latency.p99 * 1e3, 3),
+                        "e2e_p999_ms": round(latency.p999 * 1e3, 3),
                     }
                 )
         return out

@@ -4,7 +4,10 @@ Executes one or more scheduled topologies on a cluster in simulated time,
 reproducing the execution model the paper's evaluation measures:
 
 * **Spouts** emit tuple batches as fast as their CPU, the acker credit
-  (``max_spout_pending``) and any configured rate cap allow.
+  (``max_spout_pending``) and any configured rate cap allow — or, when
+  the config carries an ``arrival_process``, exactly the batches an
+  *open-loop* traffic source offers, independent of system state (see
+  :mod:`repro.traffic.arrivals`).
 * **Routing** follows each stream's grouping; every downstream component
   subscribed to a stream receives a copy of it.
 * **Transfers** pay locality-dependent latency and serialise through NICs
@@ -24,8 +27,9 @@ Nimbus coordination loop can reschedule mid-run.
 from __future__ import annotations
 
 import itertools
+import random
 from collections import deque
-from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Deque, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.cluster.cluster import Cluster
 from repro.cluster.network import DistanceLevel
@@ -39,6 +43,7 @@ from repro.simulation.network import TransferModel
 from repro.simulation.report import SimulationReport
 from repro.topology.component import Component
 from repro.topology.grouping import LocalOrShuffleGrouping
+from repro.traffic.arrivals import derive_stream_seed
 from repro.topology.task import Task
 from repro.topology.topology import Topology
 
@@ -64,6 +69,13 @@ _INTER_NODE = DistanceLevel.INTER_NODE
 #: CPU points that equal one core (the paper: "CPU availability of a node
 #: is set to 100 * #cores").
 _POINTS_PER_CORE = 100.0
+
+
+def _assign_keys(stream, keys: Iterator[int]):
+    """Fill in routing keys a base arrival process left as ``None``
+    (trace replays carry their own recorded keys, which win)."""
+    for time_s, tuples, key in stream:
+        yield (time_s, tuples, next(keys) if key is None else key)
 
 
 class _NodeRuntime:
@@ -162,11 +174,12 @@ class _PendingTree:
     """
 
     __slots__ = ("remaining", "spout", "emitted_at", "tuples", "attempt",
-                 "origin_root")
+                 "origin_root", "arrived_at")
 
     def __init__(self, remaining: int, spout: "_TaskRuntime",
                  emitted_at: float, tuples: int, attempt: int,
-                 origin_root: int):
+                 origin_root: int,
+                 arrived_at: Optional[float] = None) -> None:
         #: outstanding deliveries; the tree acks when this reaches zero.
         self.remaining = remaining
         self.spout = spout
@@ -178,6 +191,10 @@ class _PendingTree:
         #: (== the tree's own root id for originals) — the causal link
         #: the Tracer surfaces for replays.
         self.origin_root = origin_root
+        #: open-loop only: when the batch *arrived* (which can predate
+        #: ``emitted_at`` by however long the spout's queue held it) —
+        #: the anchor for end-to-end latency.  ``None`` in closed loop.
+        self.arrived_at = arrived_at
 
 
 class _TopologyRuntime:
@@ -244,6 +261,16 @@ class SimulationRun:
         self._at_least_once = self.config.at_least_once
         self._max_retries = self.config.max_retries
         self._replay_backoff = self.config.replay_backoff_s
+        self._arrival = self.config.arrival_process
+        self._open_loop = self._arrival is not None
+        if self._open_loop:
+            # Open-loop spouts emit only what arrives; every closed-loop
+            # credit/rate trigger (acks, sweeps, revivals) is a no-op.
+            self._try_emit = self._no_emit  # type: ignore[method-assign]
+        #: open-loop only: every arrival as (source, time, tuples, key),
+        #: frozen on demand into an ArrivalTrace (see arrival_trace()).
+        self._arrival_log: List[Tuple[Tuple[str, str, int], float, int,
+                                      Optional[int]]] = []
         self._nodes: Dict[str, _NodeRuntime] = {
             node.node_id: _NodeRuntime(node) for node in cluster.nodes
         }
@@ -338,8 +365,11 @@ class SimulationRun:
         if not self._started:
             self._started = True
             for topo_rt in self._topologies:
-                for spout in topo_rt.spouts:
-                    self._try_emit(spout)
+                if self._open_loop:
+                    self._start_arrivals(topo_rt)
+                else:
+                    for spout in topo_rt.spouts:
+                        self._try_emit(spout)
                 self._schedule_sweep(topo_rt)
         self.sim.run(horizon)
         return self.report()
@@ -481,9 +511,83 @@ class SimulationRun:
                 node_rt.ready.append(rt)
         self._dispatch(node_rt)
 
+    # -- open-loop arrivals ----------------------------------------------------------
+
+    def _start_arrivals(self, topo_rt: _TopologyRuntime) -> None:
+        """Schedule each spout task's first arrival from its substream.
+
+        Every spout task gets an independent RNG derived from
+        ``arrival_seed`` and its identity, so arrival sequences survive
+        placement changes, migrations and code paths that consume the
+        global :mod:`random` state.
+        """
+        config = self.config
+        keygen = config.arrival_keys
+        topo_id = topo_rt.topology_id
+        for spout in topo_rt.spouts:
+            source = (topo_id, spout.component.name, spout.task.instance)
+            rng = random.Random(
+                derive_stream_seed(config.arrival_seed, *source)
+            )
+            stream = self._arrival.stream(
+                rng, spout.profile.emit_batch_tuples, source=source
+            )
+            if keygen is not None:
+                key_rng = random.Random(
+                    derive_stream_seed(config.arrival_seed, "keys", *source)
+                )
+                stream = _assign_keys(stream, keygen.stream(key_rng))
+            first = next(stream, None)
+            if first is not None:
+                time_s, tuples, key = first
+                self.sim.schedule_at(
+                    max(time_s, 0.0), self._arrive, spout, stream, source,
+                    tuples, key,
+                )
+
+    def _arrive(
+        self,
+        spout: _TaskRuntime,
+        stream: Iterator,
+        source: Tuple[str, str, int],
+        tuples: int,
+        key: Optional[int],
+    ) -> None:
+        """One batch arrives at a spout task, ready or not.
+
+        Offered load is recorded unconditionally — that is what "open
+        loop" means — and arrivals hitting a dead spout (crashed worker,
+        failed node) are counted as dropped rather than queued: a real
+        source keeps sending while the process is down.
+        """
+        now = self.sim.now
+        topo_id = spout.topo.topology_id
+        self.stats.record_offered(topo_id, now, tuples)
+        self._arrival_log.append((source, now, tuples, key))
+        if spout.alive and spout.node.node.alive:
+            self._push_work(spout, _EMIT, (now, tuples, key))
+        else:
+            self.stats.record_arrival_dropped(topo_id, tuples)
+        nxt = next(stream, None)
+        if nxt is not None:
+            time_s, ntuples, nkey = nxt
+            self.sim.schedule_at(
+                time_s if time_s > now else now, self._arrive, spout,
+                stream, source, ntuples, nkey,
+            )
+
+    def arrival_trace(self):
+        """The run's recorded arrivals as a replayable
+        :class:`~repro.traffic.trace.ArrivalTrace` (open loop only)."""
+        from repro.traffic.trace import ArrivalTrace
+
+        return ArrivalTrace.from_log(self._arrival_log)
+
     # -- spout emission --------------------------------------------------------------
 
     def _try_emit(self, spout: _TaskRuntime) -> None:
+        # Open-loop runs rebind this to ``_no_emit`` at construction, so
+        # the closed-loop hot path (one call per ack) pays no branch.
         pending_cap = self._max_pending
         if (
             not spout.alive
@@ -507,6 +611,10 @@ class SimulationRun:
             return
         spout.emit_blocked = True
         self._push_work(spout, _EMIT, None)
+
+    def _no_emit(self, spout: _TaskRuntime) -> None:
+        """Open-loop stand-in for :meth:`_try_emit`: arrivals, not
+        credit, decide when spouts emit."""
 
     def _wake_spout(self, spout: _TaskRuntime) -> None:
         spout.emit_timer_set = False
@@ -581,7 +689,11 @@ class SimulationRun:
     ) -> float:
         profile = task.profile
         if kind == _EMIT:
-            tuples = profile.emit_batch_tuples
+            # Closed-loop emits carry no payload (the batch size is the
+            # profile's); open-loop payloads are (arrived_at, tuples, key).
+            tuples = (
+                profile.emit_batch_tuples if payload is None else payload[1]
+            )
             per_tuple_ms = profile.cpu_ms_per_tuple
         elif kind == _REPLAY:
             # Re-emitting a failed tree costs the spout the same CPU as
@@ -615,7 +727,7 @@ class SimulationRun:
         node_rt.active -= 1
         if task.alive and node_rt.node.alive:
             if kind == _EMIT:
-                self._finish_emit(task)
+                self._finish_emit(task, payload)
             elif kind == _REPLAY:
                 self._finish_replay(task, payload)
             else:
@@ -637,16 +749,47 @@ class SimulationRun:
 
     # -- emit / process effects -----------------------------------------------------------
 
-    def _finish_emit(self, spout: _TaskRuntime) -> None:
+    def _finish_emit(self, spout: _TaskRuntime, payload=None) -> None:
         topo = spout.topo
         now = self.sim.now
-        tuples = spout.profile.emit_batch_tuples
+        if payload is None:
+            # Closed loop: the spout produced its own profile-sized batch.
+            # This body is the hot path — kept free of open-loop work.
+            tuples = spout.profile.emit_batch_tuples
+            root_id = next(topo.next_root)
+            self.stats.record_emitted(topo.topology_id, tuples)
+            deliveries = self._route(spout, tuples, root_id, root_id)
+            if deliveries:
+                topo.pending[root_id] = _PendingTree(
+                    deliveries, spout, now, tuples, 0, root_id
+                )
+                spout.inflight += 1
+                if self._at_least_once:
+                    topo.origins_created += 1
+            else:
+                # A spout with no subscribers is its own sink.
+                self.stats.record_sink(
+                    topo.topology_id, spout.component.name, now, tuples
+                )
+            spout.emit_blocked = False
+            if spout.profile.max_rate_tps is not None:
+                interval = tuples / spout.profile.max_rate_tps
+                spout.next_emit_time = max(
+                    spout.next_emit_time + interval, now
+                )
+            self._try_emit(spout)
+            return
+        # Open loop: the batch was offered by the arrival process; the
+        # next emission is the next arrival, so no credit/rate logic.
+        arrived_at, tuples, key = payload
         root_id = next(topo.next_root)
         self.stats.record_emitted(topo.topology_id, tuples)
-        deliveries = self._route(spout, tuples, root_id)
+        deliveries = self._route(
+            spout, tuples, root_id, root_id if key is None else key
+        )
         if deliveries:
             topo.pending[root_id] = _PendingTree(
-                deliveries, spout, now, tuples, 0, root_id
+                deliveries, spout, now, tuples, 0, root_id, arrived_at
             )
             spout.inflight += 1
             if self._at_least_once:
@@ -656,11 +799,11 @@ class SimulationRun:
             self.stats.record_sink(
                 topo.topology_id, spout.component.name, now, tuples
             )
+            if arrived_at is not None:
+                self.stats.record_e2e_latency(
+                    topo.topology_id, now - arrived_at
+                )
         spout.emit_blocked = False
-        if spout.profile.max_rate_tps is not None:
-            interval = tuples / spout.profile.max_rate_tps
-            spout.next_emit_time = max(spout.next_emit_time + interval, now)
-        self._try_emit(spout)
 
     def _finish_process(self, task: _TaskRuntime, payload) -> None:
         root_id, tuples, _level = payload
@@ -674,7 +817,7 @@ class SimulationRun:
             if ratio > 0 and out_tuples == 0:
                 out_tuples = 1
             if out_tuples > 0:
-                children = self._route(task, out_tuples, root_id)
+                children = self._route(task, out_tuples, root_id, root_id)
         else:
             self.stats.record_sink(
                 topo.topology_id, task.component.name, now, tuples
@@ -691,6 +834,12 @@ class SimulationRun:
             spout = entry.spout
             spout.inflight -= 1
             self.stats.record_ack(topo.topology_id, now - entry.emitted_at)
+            if entry.arrived_at is not None:
+                # End-to-end latency: arrival at the spout to full ack,
+                # including any time spent queued before emission.
+                self.stats.record_e2e_latency(
+                    topo.topology_id, now - entry.arrived_at
+                )
             if self._at_least_once:
                 self.stats.record_acked_tuples(
                     topo.topology_id, now, entry.tuples
@@ -701,7 +850,7 @@ class SimulationRun:
 
     def _start_replay(
         self, spout: _TaskRuntime, tuples: int, attempt: int,
-        origin_root: int,
+        origin_root: int, arrived_at: Optional[float] = None,
     ) -> None:
         """Backoff timer fired: queue the replay on its spout.
 
@@ -715,7 +864,9 @@ class SimulationRun:
             # the origin is explicitly exhausted, not silently dropped.
             self._abandon_replay(spout.topo, tuples)
             return
-        self._push_work(spout, _REPLAY, (tuples, attempt, origin_root))
+        self._push_work(
+            spout, _REPLAY, (tuples, attempt, origin_root, arrived_at)
+        )
 
     def _finish_replay(self, spout: _TaskRuntime, payload) -> int:
         """Re-emit a failed tree under a *fresh* root id.
@@ -725,16 +876,19 @@ class SimulationRun:
         sweep's early-exit scan depends on — and lets the Tracer link
         the replay to ``origin_root`` causally.  Returns the new root id.
         """
-        tuples, attempt, origin_root = payload
+        tuples, attempt, origin_root, arrived_at = payload
         topo = spout.topo
         now = self.sim.now
         root_id = next(topo.next_root)
         self.stats.record_replayed(topo.topology_id, tuples)
-        deliveries = self._route(spout, tuples, root_id)
+        deliveries = self._route(spout, tuples, root_id, root_id)
         topo.replays_outstanding -= 1
         if deliveries:
+            # A replayed tree keeps its original arrival anchor, so the
+            # e2e latency of an eventually-acked origin spans its retries.
             topo.pending[root_id] = _PendingTree(
-                deliveries, spout, now, tuples, attempt, origin_root
+                deliveries, spout, now, tuples, attempt, origin_root,
+                arrived_at,
             )
             spout.inflight += 1
         else:  # pragma: no cover - a spout with consumers always routes
@@ -805,7 +959,12 @@ class SimulationRun:
             route.local_indices = None
         route.levels_version = self._placement_version
 
-    def _route(self, producer: _TaskRuntime, tuples: int, root_id: int) -> int:
+    def _route(
+        self, producer: _TaskRuntime, tuples: int, root_id: int,
+        route_key: int,
+    ) -> int:
+        # ``route_key`` feeds fields groupings: the root id in closed
+        # loop (and for bolt fan-out), the arrival's key in open loop.
         deliveries = 0
         now = self.sim.now
         num_bytes = tuples * producer.profile.tuple_bytes
@@ -827,7 +986,8 @@ class SimulationRun:
             levels = route.levels
             remote = route.remote
             targets = route.grouping.route(
-                len(consumers), key=root_id, local_indices=route.local_indices
+                len(consumers), key=route_key,
+                local_indices=route.local_indices,
             )
             for idx in targets:
                 consumer = consumers[idx]
@@ -922,6 +1082,7 @@ class SimulationRun:
                         self._replay_backoff * (2.0 ** entry.attempt),
                         self._start_replay, spout, entry.tuples,
                         entry.attempt + 1, entry.origin_root,
+                        entry.arrived_at,
                     )
                 else:
                     topo_rt.origins_exhausted += 1

@@ -92,14 +92,20 @@ class Tracer:
 
         original_finish_emit = run._finish_emit
 
-        def traced_finish_emit(spout):
+        def traced_finish_emit(spout, payload=None):
+            # Closed-loop emits carry no payload; open-loop payloads are
+            # (arrived_at, tuples, key) and size the batch.
+            batch = (
+                spout.profile.emit_batch_tuples if payload is None
+                else payload[1]
+            )
             tracer.record(
                 run.sim.now,
                 "emit",
                 spout.topo.topology_id,
-                f"{spout.task} batch={spout.profile.emit_batch_tuples}",
+                f"{spout.task} batch={batch}",
             )
-            return original_finish_emit(spout)
+            return original_finish_emit(spout, payload)
 
         run._finish_emit = traced_finish_emit
 

@@ -1,0 +1,36 @@
+"""Open-loop traffic generation: arrival processes, key skew, traces.
+
+See ``docs/traffic.md``.  The package is consumed through
+``SimulationConfig``: set ``arrival_process`` (and optionally
+``arrival_keys``) and the runtime switches the topology's spouts from
+closed-loop self-pacing to externally offered load.
+"""
+
+from repro.traffic.arrivals import (
+    ArrivalProcess,
+    BurstOverlay,
+    DeterministicArrivals,
+    DiurnalArrivals,
+    MMPPArrivals,
+    PoissonArrivals,
+    derive_stream_seed,
+)
+from repro.traffic.keys import KeyGenerator, UniformKeys, ZipfKeys
+from repro.traffic.percentiles import TailDigest
+from repro.traffic.trace import ArrivalTrace, TraceReplay
+
+__all__ = [
+    "ArrivalProcess",
+    "ArrivalTrace",
+    "BurstOverlay",
+    "DeterministicArrivals",
+    "DiurnalArrivals",
+    "KeyGenerator",
+    "MMPPArrivals",
+    "PoissonArrivals",
+    "TailDigest",
+    "TraceReplay",
+    "UniformKeys",
+    "ZipfKeys",
+    "derive_stream_seed",
+]

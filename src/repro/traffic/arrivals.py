@@ -1,0 +1,355 @@
+"""Open-loop arrival processes.
+
+The paper's benchmarks (and figs 8-13 here) run *closed-loop*: spouts
+emit as fast as CPU and the acker credit allow, so offered load adapts
+to whatever the placement sustains.  Real traffic does not adapt — DRS
+(Fu et al.) models a stream job as a queueing network facing an
+exogenous arrival rate — and the difference only matters past
+saturation, which is exactly where R-Storm's placements are claimed to
+win.  This module supplies the exogenous part: composable processes
+that generate per-spout-task batch arrivals on the DES clock.
+
+The contract:
+
+* ``process.stream(rng, batch_tuples, source)`` yields ``(time_s,
+  tuples, key)`` triples with non-decreasing times, where ``key`` is a
+  routing key for fields groupings (``None`` = let the runtime's
+  configured :class:`~repro.traffic.keys.KeyGenerator`, if any, assign
+  one).  Streams are infinite except for trace replays.
+* All randomness comes from the passed ``rng`` (a ``random.Random``);
+  the runtime derives one per spout task from
+  ``SimulationConfig.arrival_seed`` via :func:`derive_stream_seed`, so
+  runs are reproducible and tasks are independent.
+* ``rate_tps`` figures are tuples/second **per spout task**; a
+  topology's offered load is the per-task rate times its spout count.
+
+Processes are frozen dataclasses so they hash into the experiment
+result cache (``stable_token`` canonicalises them by field) and travel
+to worker processes by value.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from dataclasses import dataclass
+from typing import Iterator, Optional, Tuple
+
+from repro.errors import ConfigError
+
+__all__ = [
+    "ArrivalProcess",
+    "DeterministicArrivals",
+    "PoissonArrivals",
+    "MMPPArrivals",
+    "DiurnalArrivals",
+    "BurstOverlay",
+    "derive_stream_seed",
+]
+
+#: A stream element: (absolute time s, tuples in batch, routing key).
+Arrival = Tuple[float, int, Optional[int]]
+
+#: Task identity threaded into streams: (topology_id, component, instance).
+Source = Tuple[str, str, int]
+
+
+def derive_stream_seed(seed: int, *parts: object) -> int:
+    """A stable per-stream seed: sha256 over the run seed and the task
+    identity, so every spout task gets an independent, reproducible
+    substream regardless of Python hash randomisation."""
+    digest = hashlib.sha256(repr((int(seed),) + parts).encode())
+    return int.from_bytes(digest.digest()[:8], "big")
+
+
+class ArrivalProcess:
+    """Base class for arrival processes (see module docstring)."""
+
+    def stream(
+        self, rng, batch_tuples: int, source: Optional[Source] = None
+    ) -> Iterator[Arrival]:
+        raise NotImplementedError
+
+    def mean_rate_tps(self) -> float:
+        """Long-run offered load in tuples/second per spout task."""
+        raise NotImplementedError
+
+
+def _check_rate(rate_tps: float, name: str = "rate_tps") -> None:
+    if rate_tps <= 0:
+        raise ConfigError(f"{name} must be positive, got {rate_tps}")
+
+
+def _check_batch(batch_tuples: int) -> None:
+    if batch_tuples < 1:
+        raise ConfigError(
+            f"batch_tuples must be >= 1, got {batch_tuples}"
+        )
+
+
+@dataclass(frozen=True)
+class DeterministicArrivals(ArrivalProcess):
+    """Perfectly paced arrivals: one batch every ``batch/rate`` seconds.
+
+    The open-loop analogue of a rate-capped closed-loop spout; zero
+    variance makes it the reference process for exactness tests.
+    """
+
+    rate_tps: float
+
+    def __post_init__(self) -> None:
+        _check_rate(self.rate_tps)
+
+    def stream(self, rng, batch_tuples, source=None):
+        _check_batch(batch_tuples)
+        interval = batch_tuples / self.rate_tps
+        n = 1
+        while True:
+            yield (n * interval, batch_tuples, None)
+            n += 1
+
+    def mean_rate_tps(self) -> float:
+        return self.rate_tps
+
+
+@dataclass(frozen=True)
+class PoissonArrivals(ArrivalProcess):
+    """Memoryless arrivals: batch inter-arrival times are exponential
+    with mean ``batch/rate`` — the M in M/G/1, and the null hypothesis
+    of every traffic model here."""
+
+    rate_tps: float
+
+    def __post_init__(self) -> None:
+        _check_rate(self.rate_tps)
+
+    def stream(self, rng, batch_tuples, source=None):
+        _check_batch(batch_tuples)
+        lam = self.rate_tps / batch_tuples  # batches per second
+        now = 0.0
+        expovariate = rng.expovariate
+        while True:
+            now += expovariate(lam)
+            yield (now, batch_tuples, None)
+
+    def mean_rate_tps(self) -> float:
+        return self.rate_tps
+
+
+@dataclass(frozen=True)
+class MMPPArrivals(ArrivalProcess):
+    """Markov-modulated Poisson process: a hidden semi-Markov state
+    selects the instantaneous Poisson rate.
+
+    The classic burstiness model for aggregated traffic: dwell in state
+    ``i`` for an exponential time with mean ``mean_dwell_s[i]``, emit
+    Poisson arrivals at ``rates_tps[i]`` meanwhile, then jump according
+    to row ``i`` of ``transition`` (a row-stochastic matrix; self-loops
+    allowed).  Poisson memorylessness lets each dwell segment be
+    sampled independently without conditioning on the previous one.
+    """
+
+    rates_tps: Tuple[float, ...]
+    mean_dwell_s: Tuple[float, ...]
+    transition: Tuple[Tuple[float, ...], ...]
+    start_state: int = 0
+
+    def __post_init__(self) -> None:
+        n = len(self.rates_tps)
+        if n == 0:
+            raise ConfigError("MMPP needs at least one state")
+        if len(self.mean_dwell_s) != n or len(self.transition) != n:
+            raise ConfigError(
+                "MMPP rates_tps, mean_dwell_s and transition must have "
+                "matching dimensions"
+            )
+        if all(rate <= 0 for rate in self.rates_tps):
+            raise ConfigError("MMPP needs at least one positive rate")
+        if any(rate < 0 for rate in self.rates_tps):
+            raise ConfigError("MMPP rates must be >= 0")
+        if any(dwell <= 0 for dwell in self.mean_dwell_s):
+            raise ConfigError("MMPP dwell times must be positive")
+        for i, row in enumerate(self.transition):
+            if len(row) != n:
+                raise ConfigError(f"MMPP transition row {i} has wrong length")
+            if any(p < 0 for p in row):
+                raise ConfigError("MMPP transition probabilities must be >= 0")
+            if abs(sum(row) - 1.0) > 1e-9:
+                raise ConfigError(
+                    f"MMPP transition row {i} must sum to 1, got {sum(row)}"
+                )
+        if not 0 <= self.start_state < n:
+            raise ConfigError("MMPP start_state out of range")
+
+    def segments(self, rng) -> Iterator[Tuple[int, float, float]]:
+        """The modulating chain: yields ``(state, start_s, end_s)``
+        dwell segments forever.  Exposed so the occupancy property test
+        can observe the chain directly."""
+        state = self.start_state
+        now = 0.0
+        while True:
+            dwell = rng.expovariate(1.0 / self.mean_dwell_s[state])
+            yield (state, now, now + dwell)
+            now += dwell
+            u = rng.random()
+            acc = 0.0
+            row = self.transition[state]
+            nxt = len(row) - 1
+            for j, p in enumerate(row):
+                acc += p
+                if u < acc:
+                    nxt = j
+                    break
+            state = nxt
+
+    def occupancy(self) -> Tuple[float, ...]:
+        """Long-run fraction of time spent in each state.
+
+        Power-iterates the embedded jump chain to its stationary
+        distribution π, then weights by mean dwell:
+        ``occ_i = π_i d_i / Σ_j π_j d_j`` — the semi-Markov occupancy
+        the property tests compare empirical dwell fractions against.
+        """
+        n = len(self.rates_tps)
+        pi = [1.0 / n] * n
+        for _ in range(500):
+            nxt = [0.0] * n
+            for i, weight in enumerate(pi):
+                row = self.transition[i]
+                for j in range(n):
+                    nxt[j] += weight * row[j]
+            if max(abs(a - b) for a, b in zip(pi, nxt)) < 1e-14:
+                pi = nxt
+                break
+            pi = nxt
+        weighted = [p * d for p, d in zip(pi, self.mean_dwell_s)]
+        total = sum(weighted)
+        return tuple(w / total for w in weighted)
+
+    def stream(self, rng, batch_tuples, source=None):
+        _check_batch(batch_tuples)
+        rates = self.rates_tps
+        for state, start, end in self.segments(rng):
+            rate = rates[state]
+            if rate <= 0:
+                continue
+            lam = rate / batch_tuples
+            now = start + rng.expovariate(lam)
+            while now < end:
+                yield (now, batch_tuples, None)
+                now += rng.expovariate(lam)
+
+    def mean_rate_tps(self) -> float:
+        return sum(
+            occ * rate for occ, rate in zip(self.occupancy(), self.rates_tps)
+        )
+
+
+@dataclass(frozen=True)
+class DiurnalArrivals(ArrivalProcess):
+    """A non-homogeneous Poisson process with a sinusoidal daily rate.
+
+    ``rate(t) = (daily_tuples / day_s) * (1 + amplitude *
+    sin(2π (t - phase_s) / day_s))`` — which integrates *exactly* to
+    ``daily_tuples`` over any full day, the invariant the property
+    tests assert.  Sampled by thinning against the peak rate, the
+    standard exact method for non-homogeneous Poisson processes.
+    """
+
+    daily_tuples: float
+    day_s: float = 86400.0
+    amplitude: float = 0.5
+    phase_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.daily_tuples <= 0:
+            raise ConfigError("daily_tuples must be positive")
+        if self.day_s <= 0:
+            raise ConfigError("day_s must be positive")
+        if not 0.0 <= self.amplitude < 1.0:
+            raise ConfigError("amplitude must be in [0, 1)")
+
+    def rate_at(self, t: float) -> float:
+        base = self.daily_tuples / self.day_s
+        phase = 2.0 * math.pi * (t - self.phase_s) / self.day_s
+        return base * (1.0 + self.amplitude * math.sin(phase))
+
+    def stream(self, rng, batch_tuples, source=None):
+        _check_batch(batch_tuples)
+        peak = (self.daily_tuples / self.day_s) * (1.0 + self.amplitude)
+        lam = peak / batch_tuples
+        now = 0.0
+        expovariate = rng.expovariate
+        uniform = rng.random
+        while True:
+            now += expovariate(lam)
+            # Thinning: accept a candidate with probability rate/peak.
+            if uniform() * peak <= self.rate_at(now):
+                yield (now, batch_tuples, None)
+
+    def mean_rate_tps(self) -> float:
+        return self.daily_tuples / self.day_s
+
+
+@dataclass(frozen=True)
+class BurstOverlay(ArrivalProcess):
+    """A base process plus periodic Poisson burst storms.
+
+    Every ``period_s`` a burst window of ``burst_s`` opens (the first at
+    ``offset_s``) during which extra Poisson arrivals at
+    ``burst_rate_tps`` are merged into the base stream — flash crowds
+    over steady background traffic.
+    """
+
+    base: ArrivalProcess
+    burst_rate_tps: float
+    period_s: float
+    burst_s: float
+    offset_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.base, ArrivalProcess):
+            raise ConfigError("BurstOverlay.base must be an ArrivalProcess")
+        _check_rate(self.burst_rate_tps, "burst_rate_tps")
+        if self.period_s <= 0:
+            raise ConfigError("period_s must be positive")
+        if not 0 < self.burst_s <= self.period_s:
+            raise ConfigError("burst_s must be in (0, period_s]")
+        if self.offset_s < 0:
+            raise ConfigError("offset_s must be >= 0")
+
+    def _burst_stream(self, rng, batch_tuples) -> Iterator[Arrival]:
+        lam = self.burst_rate_tps / batch_tuples
+        k = 0
+        while True:
+            start = self.offset_s + k * self.period_s
+            end = start + self.burst_s
+            now = start + rng.expovariate(lam)
+            while now < end:
+                yield (now, batch_tuples, None)
+                now += rng.expovariate(lam)
+            k += 1
+
+    def stream(self, rng, batch_tuples, source=None):
+        _check_batch(batch_tuples)
+        # Two independent substreams with a fixed derivation order, so
+        # the merge is deterministic for a given rng.
+        import random as _random
+
+        base_rng = _random.Random(rng.getrandbits(64))
+        burst_rng = _random.Random(rng.getrandbits(64))
+        base = self.base.stream(base_rng, batch_tuples, source=source)
+        burst = self._burst_stream(burst_rng, batch_tuples)
+        a = next(base, None)
+        b = next(burst, None)
+        while a is not None or b is not None:
+            if b is None or (a is not None and a[0] <= b[0]):
+                yield a
+                a = next(base, None)
+            else:
+                yield b
+                b = next(burst, None)
+
+    def mean_rate_tps(self) -> float:
+        duty = self.burst_s / self.period_s
+        return self.base.mean_rate_tps() + self.burst_rate_tps * duty

@@ -1,0 +1,98 @@
+"""Routing-key generators for fields-grouped streams.
+
+A fields grouping hashes a tuple's key to pick the consuming task, so
+the key *distribution* decides how evenly load lands across executors.
+Closed-loop runs route on the batch's root id (effectively uniform);
+under open-loop traffic the key stream is configurable, and a Zipf
+distribution — the empirical shape of almost every real key space
+(words, users, pages) — concentrates load on a few hot executors,
+which is the skew scenario the overload experiment measures.
+
+Generators are frozen dataclasses for the same reason the arrival
+processes are: they ride inside ``SimulationConfig`` and must hash into
+stable cache keys.
+"""
+
+from __future__ import annotations
+
+import bisect
+import itertools
+from dataclasses import dataclass
+from typing import Iterator, List, Tuple
+
+from repro.errors import ConfigError
+
+__all__ = ["KeyGenerator", "UniformKeys", "ZipfKeys"]
+
+
+class KeyGenerator:
+    """Base class: yields an infinite stream of integer routing keys."""
+
+    def stream(self, rng) -> Iterator[int]:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class UniformKeys(KeyGenerator):
+    """Keys drawn uniformly from ``[0, num_keys)`` — the no-skew
+    baseline a Zipf run is compared against."""
+
+    num_keys: int
+
+    def __post_init__(self) -> None:
+        if self.num_keys < 1:
+            raise ConfigError("num_keys must be >= 1")
+
+    def stream(self, rng):
+        n = self.num_keys
+        randrange = rng.randrange
+        while True:
+            yield randrange(n)
+
+
+@dataclass(frozen=True)
+class ZipfKeys(KeyGenerator):
+    """Zipf-distributed keys: key ``k`` has weight ``1/(k+1)^exponent``,
+    so key 0 is the hottest.  Sampled by inverse-CDF lookup on the
+    precomputed cumulative weights (exact, no rejection)."""
+
+    num_keys: int
+    exponent: float = 1.2
+
+    def __post_init__(self) -> None:
+        if self.num_keys < 1:
+            raise ConfigError("num_keys must be >= 1")
+        if self.exponent <= 0:
+            raise ConfigError("exponent must be positive")
+
+    def _cumulative(self) -> List[float]:
+        weights = [
+            (rank + 1) ** -self.exponent for rank in range(self.num_keys)
+        ]
+        return list(itertools.accumulate(weights))
+
+    def probabilities(self) -> Tuple[float, ...]:
+        """The normalised key distribution (for tests and docs)."""
+        cum = self._cumulative()
+        total = cum[-1]
+        probs = []
+        prev = 0.0
+        for value in cum:
+            probs.append((value - prev) / total)
+            prev = value
+        return tuple(probs)
+
+    def hot_share(self, top: int = 1) -> float:
+        """Fraction of traffic carried by the ``top`` hottest keys."""
+        if top < 1:
+            raise ConfigError("top must be >= 1")
+        probs = self.probabilities()
+        return sum(probs[: min(top, len(probs))])
+
+    def stream(self, rng):
+        cum = self._cumulative()
+        total = cum[-1]
+        uniform = rng.random
+        search = bisect.bisect_left
+        while True:
+            yield search(cum, uniform() * total)

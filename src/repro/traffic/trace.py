@@ -1,0 +1,184 @@
+"""Arrival traces: record a run's traffic, replay it exactly.
+
+An open-loop run logs every batch arrival — which spout task it hit,
+when, how many tuples, and the resolved routing key.  The log freezes
+into an :class:`ArrivalTrace`, which can be saved to a compact binary
+format and later fed back through the DES via :class:`TraceReplay`:
+the replayed run sees byte-identical traffic, so two schedulers (or two
+code versions) can be compared against *the same* stochastic sample
+rather than two draws from the same distribution.
+
+Binary format (little-endian)::
+
+    magic  b"RTRC1\\n"
+    u32    header length
+    bytes  JSON header {"sources": [[topology, component, instance]...],
+                        "records": N}
+    N x    record: u16 source index, f64 time_s, u32 tuples, i64 key
+                   (key -1 encodes "no key")
+
+Traces are frozen dataclasses built from flat tuples, so — like every
+other configuration object here — they are hashable, picklable, and
+canonicalise into stable cache keys: a replay unit is cacheable like
+any other simulation unit.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigError
+from repro.traffic.arrivals import ArrivalProcess, Source
+
+__all__ = ["ArrivalTrace", "TraceReplay"]
+
+_MAGIC = b"RTRC1\n"
+_HEADER_LEN = struct.Struct("<I")
+_RECORD = struct.Struct("<Hdiq")
+
+#: One trace record: (source index, time_s, tuples, key; -1 = no key).
+TraceRecord = Tuple[int, float, int, int]
+
+
+@dataclass(frozen=True)
+class ArrivalTrace:
+    """An immutable log of every arrival in one run.
+
+    Attributes:
+        sources: Distinct spout tasks seen, as ``(topology_id,
+            component, instance)`` triples; records refer to them by
+            index to keep the format compact.
+        records: ``(source_index, time_s, tuples, key)`` in arrival
+            order; ``key == -1`` means the arrival carried no routing
+            key.
+    """
+
+    sources: Tuple[Source, ...]
+    records: Tuple[TraceRecord, ...]
+
+    def __post_init__(self) -> None:
+        for idx, _time, tuples, _key in self.records:
+            if not 0 <= idx < len(self.sources):
+                raise ConfigError(
+                    f"trace record references unknown source index {idx}"
+                )
+            if tuples < 1:
+                raise ConfigError("trace records must carry >= 1 tuple")
+
+    @classmethod
+    def from_log(
+        cls,
+        log: Sequence[Tuple[Source, float, int, Optional[int]]],
+    ) -> "ArrivalTrace":
+        """Freeze a runtime arrival log (source, time, tuples, key)."""
+        sources: List[Source] = []
+        index: Dict[Source, int] = {}
+        records: List[TraceRecord] = []
+        for source, time_s, tuples, key in log:
+            idx = index.get(source)
+            if idx is None:
+                idx = index[source] = len(sources)
+                sources.append(source)
+            records.append(
+                (idx, float(time_s), int(tuples), -1 if key is None else int(key))
+            )
+        return cls(sources=tuple(sources), records=tuple(records))
+
+    # -- views -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def total_tuples(self) -> int:
+        return sum(tuples for _, _, tuples, _ in self.records)
+
+    def span_s(self) -> float:
+        """Time of the last arrival (0.0 for an empty trace)."""
+        return max((t for _, t, _, _ in self.records), default=0.0)
+
+    def for_source(
+        self, source: Source
+    ) -> List[Tuple[float, int, Optional[int]]]:
+        """This task's arrivals as ``(time, tuples, key)`` triples."""
+        try:
+            idx = self.sources.index(source)
+        except ValueError:
+            return []
+        return [
+            (time_s, tuples, None if key == -1 else key)
+            for rec_idx, time_s, tuples, key in self.records
+            if rec_idx == idx
+        ]
+
+    # -- persistence -----------------------------------------------------
+
+    def save(self, path) -> None:
+        header = json.dumps(
+            {"sources": [list(s) for s in self.sources],
+             "records": len(self.records)},
+            sort_keys=True,
+            separators=(",", ":"),
+        ).encode()
+        with open(path, "wb") as handle:
+            handle.write(_MAGIC)
+            handle.write(_HEADER_LEN.pack(len(header)))
+            handle.write(header)
+            pack = _RECORD.pack
+            for record in self.records:
+                handle.write(pack(*record))
+
+    @classmethod
+    def load(cls, path) -> "ArrivalTrace":
+        with open(path, "rb") as handle:
+            magic = handle.read(len(_MAGIC))
+            if magic != _MAGIC:
+                raise ConfigError(f"{path}: not an arrival trace file")
+            (header_len,) = _HEADER_LEN.unpack(handle.read(_HEADER_LEN.size))
+            header = json.loads(handle.read(header_len).decode())
+            sources = tuple(
+                (str(t), str(c), int(i)) for t, c, i in header["sources"]
+            )
+            count = int(header["records"])
+            size = _RECORD.size
+            unpack = _RECORD.unpack
+            records = []
+            for _ in range(count):
+                chunk = handle.read(size)
+                if len(chunk) != size:
+                    raise ConfigError(f"{path}: truncated arrival trace")
+                records.append(unpack(chunk))
+        return cls(sources=sources, records=tuple(records))
+
+
+@dataclass(frozen=True)
+class TraceReplay(ArrivalProcess):
+    """Replay a recorded trace through the DES.
+
+    Each spout task receives exactly its recorded arrivals (times,
+    batch sizes *and* keys); tasks absent from the trace receive
+    nothing.  Streams are finite — the run goes quiet when the trace
+    is exhausted.
+    """
+
+    trace: ArrivalTrace
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.trace, ArrivalTrace):
+            raise ConfigError("TraceReplay needs an ArrivalTrace")
+
+    def stream(self, rng, batch_tuples, source=None):
+        if source is None:
+            raise ConfigError(
+                "TraceReplay requires the runtime to pass the task source"
+            )
+        for time_s, tuples, key in self.trace.for_source(source):
+            yield (time_s, tuples, key)
+
+    def mean_rate_tps(self) -> float:
+        span = self.trace.span_s()
+        if span <= 0:
+            return 0.0
+        return self.trace.total_tuples() / span / max(1, len(self.trace.sources))

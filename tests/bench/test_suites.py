@@ -22,6 +22,7 @@ EXPECTED_NAMES = {
     "chaos-replay",
     "delivery-replay",
     "fig9-e2e",
+    "traffic-overload",
 }
 
 

@@ -1,0 +1,89 @@
+"""Tests for the open-loop overload sweep experiment ("traffic")."""
+
+import pytest
+
+from repro.experiments import REGISTRY
+from repro.experiments.overload import (
+    BASE_RATE_TPS,
+    MULTIPLIERS,
+    keyed_linear_topology,
+    run,
+    sweep_units,
+)
+
+ROW_FIELDS = {
+    "offered_x", "scheduler", "offered_per_10s", "achieved_per_10s",
+    "achieved_ratio", "e2e_p50_ms", "e2e_p99_ms", "e2e_p999_ms",
+    "failed", "crashes",
+}
+
+
+class TestRegistration:
+    def test_registered_as_traffic(self):
+        assert REGISTRY["traffic"] is run
+
+    def test_base_rate_matches_closed_loop_cap(self):
+        from repro.workloads.micro import _COMPUTE_RATE_TPS
+
+        assert BASE_RATE_TPS == _COMPUTE_RATE_TPS
+
+
+class TestUnits:
+    def test_grid_covers_multipliers_times_schedulers(self):
+        units = sweep_units(60.0)
+        assert len(units) == len(MULTIPLIERS) * 2
+        labels = {u.label for u in units}
+        assert "traffic:1x/r-storm" in labels
+        assert "traffic:2x/default" in labels
+
+    def test_units_are_open_loop(self):
+        for unit in sweep_units(60.0, multipliers=(1.0,)):
+            assert unit.config.arrival_process is not None
+            assert unit.config.duration_s == 60.0
+
+
+class TestKeyedTopology:
+    def test_first_hop_fields_grouped(self):
+        topology = keyed_linear_topology(parallelism=3)
+        subs = {
+            sub.source: type(sub.grouping).__name__
+            for sub in topology.component("bolt-1").subscriptions
+        }
+        assert subs == {"spout": "FieldsGrouping"}
+        later = {
+            sub.source: type(sub.grouping).__name__
+            for sub in topology.component("bolt-2").subscriptions
+        }
+        assert later == {"bolt-1": "ShuffleGrouping"}
+        assert topology.component("spout").parallelism == 3
+
+    def test_same_shape_as_linear_compute(self):
+        topology = keyed_linear_topology()
+        assert list(topology.components) == [
+            "spout", "bolt-1", "bolt-2", "bolt-3"
+        ]
+
+
+class TestRun:
+    def test_small_sweep_produces_rows_and_notes(self):
+        result = run(duration_s=30.0, multipliers=(0.5,))
+        # 2 sweep rows (one per scheduler) + 2 key-skew rows.
+        assert len(result.rows) == 4
+        for row in result.rows:
+            assert ROW_FIELDS <= set(row)
+        sweep = [r for r in result.rows if r["scheduler"] in
+                 ("r-storm", "default")]
+        for row in sweep:
+            assert row["offered_per_10s"] > 0
+            # 0.5x is well under capacity: the run keeps up.
+            assert row["achieved_ratio"] == pytest.approx(1.0, abs=0.1)
+            assert row["e2e_p50_ms"] > 0
+        assert result.notes
+        # Paired sampling: both schedulers saw identical offered load.
+        assert sweep[0]["offered_per_10s"] == sweep[1]["offered_per_10s"]
+
+    def test_skew_rows_cover_both_key_shapes(self):
+        result = run(duration_s=30.0, multipliers=(0.5,))
+        schedulers = {r["scheduler"] for r in result.rows}
+        assert "r-storm/uniform-keys" in schedulers
+        assert "r-storm/zipf-keys" in schedulers

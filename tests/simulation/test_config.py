@@ -4,6 +4,8 @@ import pytest
 
 from repro.errors import ConfigError
 from repro.simulation.config import SimulationConfig
+from repro.traffic.arrivals import PoissonArrivals
+from repro.traffic.keys import UniformKeys
 
 
 class TestDefaults:
@@ -18,6 +20,21 @@ class TestDefaults:
     def test_crash_model_can_be_disabled(self):
         config = SimulationConfig(queue_overflow_batches=None)
         assert config.queue_overflow_batches is None
+
+    def test_closed_loop_is_the_default(self):
+        config = SimulationConfig()
+        assert config.arrival_process is None
+        assert config.arrival_keys is None
+        assert config.arrival_seed == 1
+
+    def test_open_loop_config_accepted(self):
+        config = SimulationConfig(
+            arrival_process=PoissonArrivals(rate_tps=100.0),
+            arrival_keys=UniformKeys(num_keys=8),
+            arrival_seed=7,
+        )
+        assert config.arrival_process.mean_rate_tps() == 100.0
+        assert config.arrival_keys.num_keys == 8
 
 
 class TestValidation:
@@ -36,6 +53,15 @@ class TestValidation:
             {"serde_ms_per_tuple": -0.1},
             {"queue_overflow_batches": 0},
             {"worker_restart_s": -1.0},
+            {"arrival_process": 42},
+            {"arrival_process": "poisson"},
+            {"arrival_keys": UniformKeys(num_keys=4)},  # needs a process
+            {"arrival_process": PoissonArrivals(rate_tps=10.0),
+             "arrival_keys": 7},
+            {"arrival_process": PoissonArrivals(rate_tps=10.0),
+             "arrival_seed": -1},
+            {"arrival_process": PoissonArrivals(rate_tps=10.0),
+             "arrival_seed": 1.5},
         ],
     )
     def test_invalid_rejected(self, kwargs):

@@ -1,0 +1,178 @@
+"""Property-based tests for the stochastic traffic surface (hypothesis).
+
+Every arrival process must honour its distributional contract *and* be
+bit-reproducible from its seed — the latter is what makes open-loop
+experiments cacheable and the record->replay loop a fixed point.
+"""
+
+import itertools
+import math
+import random
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+from repro.traffic.arrivals import (  # noqa: E402
+    BurstOverlay,
+    DeterministicArrivals,
+    DiurnalArrivals,
+    MMPPArrivals,
+    PoissonArrivals,
+    derive_stream_seed,
+)
+
+
+def take(stream, n):
+    return list(itertools.islice(stream, n))
+
+
+rates = st.floats(min_value=1.0, max_value=5000.0, allow_nan=False)
+seeds = st.integers(min_value=0, max_value=2**32 - 1)
+batches = st.integers(min_value=1, max_value=100)
+
+
+class TestPoissonMoments:
+    @settings(max_examples=20, deadline=None)
+    @given(rate=rates, seed=seeds)
+    def test_mean_interarrival_matches_rate(self, rate, seed):
+        """Sample mean of 5000 exponential gaps ~= 1/lambda within 10%
+        (the standard error at N=5000 is ~1.4%, so 10% is ~7 sigma)."""
+        batch = 50
+        process = PoissonArrivals(rate_tps=rate)
+        arrivals = take(process.stream(random.Random(seed), batch), 5000)
+        gaps = [
+            b[0] - a[0] for a, b in zip(arrivals, arrivals[1:])
+        ]
+        expected = batch / rate
+        observed = sum(gaps) / len(gaps)
+        assert abs(observed - expected) / expected < 0.10
+
+
+class TestMMPPOccupancy:
+    @settings(max_examples=10, deadline=None)
+    @given(
+        seed=seeds,
+        dwell_a=st.floats(min_value=0.5, max_value=5.0),
+        dwell_b=st.floats(min_value=0.5, max_value=5.0),
+        p_ab=st.floats(min_value=0.2, max_value=1.0),
+        p_ba=st.floats(min_value=0.2, max_value=1.0),
+    )
+    def test_empirical_occupancy_matches_analytic(
+        self, seed, dwell_a, dwell_b, p_ab, p_ba
+    ):
+        """Time-in-state over ~4000 dwell segments tracks occupancy()."""
+        process = MMPPArrivals(
+            rates_tps=(10.0, 100.0),
+            mean_dwell_s=(dwell_a, dwell_b),
+            transition=((1.0 - p_ab, p_ab), (p_ba, 1.0 - p_ba)),
+        )
+        dwell = [0.0, 0.0]
+        for state, start, end in take(
+            process.segments(random.Random(seed)), 4000
+        ):
+            dwell[state] += end - start
+        total = sum(dwell)
+        analytic = process.occupancy()
+        for observed, expected in zip(dwell, analytic):
+            assert abs(observed / total - expected) < 0.05
+
+
+class TestDiurnalVolume:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        daily=st.floats(min_value=100.0, max_value=1e6),
+        day_s=st.floats(min_value=60.0, max_value=86400.0),
+        amplitude=st.floats(min_value=0.0, max_value=0.99),
+        phase=st.floats(min_value=0.0, max_value=86400.0),
+    )
+    def test_rate_integrates_to_daily_volume(
+        self, daily, day_s, amplitude, phase
+    ):
+        """The sinusoid's integral over one full day is exactly the
+        configured volume (checked by Simpson's rule to ~1e-6 rel)."""
+        process = DiurnalArrivals(
+            daily_tuples=daily, day_s=day_s, amplitude=amplitude,
+            phase_s=phase,
+        )
+        n = 2000  # even, for Simpson
+        h = day_s / n
+        total = process.rate_at(0.0) + process.rate_at(day_s)
+        for i in range(1, n):
+            total += process.rate_at(i * h) * (4 if i % 2 else 2)
+        integral = total * h / 3.0
+        assert integral == pytest.approx(daily, rel=1e-6)
+
+    @settings(max_examples=5, deadline=None)
+    @given(seed=seeds)
+    def test_thinned_count_tracks_volume(self, seed):
+        """Arrivals generated over one day total ~daily_tuples (Poisson
+        noise at ~600 batches is ~4%; allow 15%)."""
+        daily, day_s, batch = 30000.0, 120.0, 50
+        process = DiurnalArrivals(daily_tuples=daily, day_s=day_s)
+        count = 0
+        for t, tuples, _ in process.stream(random.Random(seed), batch):
+            if t >= day_s:
+                break
+            count += tuples
+        assert abs(count - daily) / daily < 0.15
+
+
+PROCESSES = st.sampled_from([
+    DeterministicArrivals(rate_tps=200.0),
+    PoissonArrivals(rate_tps=200.0),
+    MMPPArrivals(
+        rates_tps=(50.0, 500.0),
+        mean_dwell_s=(4.0, 1.0),
+        transition=((0.2, 0.8), (0.7, 0.3)),
+    ),
+    DiurnalArrivals(daily_tuples=20000.0, day_s=200.0, amplitude=0.6),
+    BurstOverlay(
+        base=PoissonArrivals(rate_tps=100.0),
+        burst_rate_tps=800.0,
+        period_s=20.0,
+        burst_s=3.0,
+    ),
+])
+
+
+class TestDeterminism:
+    @settings(max_examples=25, deadline=None)
+    @given(process=PROCESSES, seed=seeds, batch=batches)
+    def test_same_seed_identical_sequence(self, process, seed, batch):
+        a = take(process.stream(random.Random(seed), batch), 200)
+        b = take(process.stream(random.Random(seed), batch), 200)
+        assert a == b
+
+    @settings(max_examples=25, deadline=None)
+    @given(process=PROCESSES, seed=seeds, batch=batches)
+    def test_times_non_decreasing(self, process, seed, batch):
+        arrivals = take(process.stream(random.Random(seed), batch), 200)
+        times = [t for t, _, _ in arrivals]
+        assert all(b >= a for a, b in zip(times, times[1:]))
+        assert all(t >= 0.0 for t in times)
+        assert all(tuples >= 1 for _, tuples, _ in arrivals)
+
+    @settings(max_examples=10, deadline=None)
+    @given(process=PROCESSES, seed=seeds)
+    def test_different_seeds_differ(self, process, seed):
+        if isinstance(process, DeterministicArrivals):
+            return  # rng-free by design
+        a = take(process.stream(random.Random(seed), 50), 50)
+        b = take(process.stream(random.Random(seed + 1), 50), 50)
+        assert a != b
+
+
+class TestSeedDerivation:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        seed=seeds,
+        topo=st.text(min_size=0, max_size=20),
+        comp=st.text(min_size=0, max_size=20),
+        inst=st.integers(min_value=0, max_value=1000),
+    )
+    def test_derivation_is_stable_and_in_range(self, seed, topo, comp, inst):
+        value = derive_stream_seed(seed, topo, comp, inst)
+        assert value == derive_stream_seed(seed, topo, comp, inst)
+        assert 0 <= value < 2**64

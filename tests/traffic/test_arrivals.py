@@ -1,0 +1,246 @@
+"""Unit tests for the arrival processes (exact/structural behaviour;
+statistical properties live in test_arrival_properties.py)."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.traffic.arrivals import (
+    BurstOverlay,
+    DeterministicArrivals,
+    DiurnalArrivals,
+    MMPPArrivals,
+    PoissonArrivals,
+    derive_stream_seed,
+)
+
+
+def take(stream, n):
+    return list(itertools.islice(stream, n))
+
+
+TWO_STATE = MMPPArrivals(
+    rates_tps=(50.0, 500.0),
+    mean_dwell_s=(8.0, 2.0),
+    transition=((0.0, 1.0), (1.0, 0.0)),
+)
+
+
+class TestDeterministic:
+    def test_exact_times(self):
+        process = DeterministicArrivals(rate_tps=100.0)
+        arrivals = take(process.stream(random.Random(0), 50), 4)
+        assert arrivals == [
+            (0.5, 50, None), (1.0, 50, None), (1.5, 50, None), (2.0, 50, None)
+        ]
+
+    def test_ignores_rng(self):
+        process = DeterministicArrivals(rate_tps=10.0)
+        a = take(process.stream(random.Random(1), 10), 20)
+        b = take(process.stream(random.Random(999), 10), 20)
+        assert a == b
+
+    def test_mean_rate(self):
+        assert DeterministicArrivals(rate_tps=123.0).mean_rate_tps() == 123.0
+
+    @pytest.mark.parametrize("rate", [0.0, -5.0])
+    def test_invalid_rate(self, rate):
+        with pytest.raises(ConfigError):
+            DeterministicArrivals(rate_tps=rate)
+
+    def test_invalid_batch(self):
+        process = DeterministicArrivals(rate_tps=10.0)
+        with pytest.raises(ConfigError):
+            next(process.stream(random.Random(0), 0))
+
+
+class TestPoisson:
+    def test_times_strictly_increase(self):
+        process = PoissonArrivals(rate_tps=200.0)
+        arrivals = take(process.stream(random.Random(7), 50), 500)
+        times = [t for t, _, _ in arrivals]
+        assert all(b > a for a, b in zip(times, times[1:]))
+        assert all(tuples == 50 and key is None for _, tuples, key in arrivals)
+
+    def test_invalid_rate(self):
+        with pytest.raises(ConfigError):
+            PoissonArrivals(rate_tps=0.0)
+
+
+class TestMMPP:
+    def test_occupancy_sums_to_one(self):
+        occ = TWO_STATE.occupancy()
+        assert len(occ) == 2
+        assert sum(occ) == pytest.approx(1.0)
+        # Symmetric flip chain: occupancy is proportional to dwell.
+        assert occ[0] == pytest.approx(0.8)
+        assert occ[1] == pytest.approx(0.2)
+
+    def test_mean_rate_weights_by_occupancy(self):
+        assert TWO_STATE.mean_rate_tps() == pytest.approx(
+            0.8 * 50.0 + 0.2 * 500.0
+        )
+
+    def test_segments_are_contiguous(self):
+        segments = take(TWO_STATE.segments(random.Random(3)), 50)
+        for (_, _, end), (_, start, _) in zip(segments, segments[1:]):
+            assert start == pytest.approx(end)
+
+    def test_zero_rate_state_contributes_no_arrivals(self):
+        # Flip chain spending half its time silent: the realised rate
+        # must track mean_rate_tps (50 tps), not the active-state rate
+        # (100 tps) — i.e. the silent state really emits nothing.
+        process = MMPPArrivals(
+            rates_tps=(0.0, 100.0),
+            mean_dwell_s=(2.0, 2.0),
+            transition=((0.0, 1.0), (1.0, 0.0)),
+        )
+        assert process.mean_rate_tps() == pytest.approx(50.0)
+        horizon, batch = 400.0, 10
+        count = 0
+        for t, tuples, _ in process.stream(random.Random(5), batch):
+            if t >= horizon:
+                break
+            count += tuples
+        assert count / horizon == pytest.approx(50.0, rel=0.15)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"rates_tps": (), "mean_dwell_s": (), "transition": ()},
+            {"rates_tps": (1.0,), "mean_dwell_s": (1.0, 2.0),
+             "transition": ((1.0,),)},
+            {"rates_tps": (0.0,), "mean_dwell_s": (1.0,),
+             "transition": ((1.0,),)},
+            {"rates_tps": (1.0, -1.0), "mean_dwell_s": (1.0, 1.0),
+             "transition": ((0.5, 0.5), (0.5, 0.5))},
+            {"rates_tps": (1.0,), "mean_dwell_s": (0.0,),
+             "transition": ((1.0,),)},
+            {"rates_tps": (1.0, 2.0), "mean_dwell_s": (1.0, 1.0),
+             "transition": ((0.6, 0.6), (0.5, 0.5))},
+            {"rates_tps": (1.0, 2.0), "mean_dwell_s": (1.0, 1.0),
+             "transition": ((1.0,), (0.5, 0.5))},
+            {"rates_tps": (1.0,), "mean_dwell_s": (1.0,),
+             "transition": ((1.0,),), "start_state": 1},
+        ],
+    )
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ConfigError):
+            MMPPArrivals(**kwargs)
+
+
+class TestDiurnal:
+    def test_rate_at_peak_trough_and_mean(self):
+        process = DiurnalArrivals(
+            daily_tuples=86400.0, day_s=86400.0, amplitude=0.5, phase_s=0.0
+        )
+        assert process.rate_at(0.0) == pytest.approx(1.0)
+        assert process.rate_at(21600.0) == pytest.approx(1.5)  # quarter day
+        assert process.rate_at(64800.0) == pytest.approx(0.5)
+        assert process.mean_rate_tps() == pytest.approx(1.0)
+
+    def test_phase_shifts_the_curve(self):
+        base = DiurnalArrivals(daily_tuples=1000.0, day_s=100.0)
+        shifted = DiurnalArrivals(
+            daily_tuples=1000.0, day_s=100.0, phase_s=25.0
+        )
+        assert shifted.rate_at(25.0) == pytest.approx(base.rate_at(0.0))
+
+    def test_rate_never_exceeds_peak(self):
+        process = DiurnalArrivals(daily_tuples=5000.0, day_s=60.0,
+                                  amplitude=0.9)
+        peak = (5000.0 / 60.0) * 1.9
+        arrivals = take(process.stream(random.Random(2), 10), 300)
+        for t, _, _ in arrivals:
+            assert process.rate_at(t) <= peak + 1e-9
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"daily_tuples": 0.0},
+            {"daily_tuples": 100.0, "day_s": 0.0},
+            {"daily_tuples": 100.0, "amplitude": 1.0},
+            {"daily_tuples": 100.0, "amplitude": -0.1},
+        ],
+    )
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ConfigError):
+            DiurnalArrivals(**kwargs)
+
+
+class TestBurstOverlay:
+    def test_merged_times_non_decreasing(self):
+        process = BurstOverlay(
+            base=PoissonArrivals(rate_tps=100.0),
+            burst_rate_tps=1000.0,
+            period_s=10.0,
+            burst_s=2.0,
+        )
+        arrivals = take(process.stream(random.Random(11), 20), 1000)
+        times = [t for t, _, _ in arrivals]
+        assert times == sorted(times)
+
+    def test_bursts_confined_to_windows(self):
+        process = BurstOverlay(
+            base=DeterministicArrivals(rate_tps=10.0),
+            burst_rate_tps=2000.0,
+            period_s=10.0,
+            burst_s=1.0,
+            offset_s=2.0,
+        )
+        arrivals = take(process.stream(random.Random(4), 10), 800)
+        base_interval = 10 / 10.0
+        for t, _, _ in arrivals:
+            in_window = any(
+                2.0 + k * 10.0 <= t < 3.0 + k * 10.0 for k in range(100)
+            )
+            on_grid = abs(t / base_interval - round(t / base_interval)) < 1e-9
+            assert in_window or on_grid
+
+    def test_mean_rate_adds_duty_cycled_burst(self):
+        process = BurstOverlay(
+            base=DeterministicArrivals(rate_tps=100.0),
+            burst_rate_tps=500.0,
+            period_s=10.0,
+            burst_s=2.0,
+        )
+        assert process.mean_rate_tps() == pytest.approx(100.0 + 500.0 * 0.2)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"base": "nope", "burst_rate_tps": 1.0, "period_s": 1.0,
+             "burst_s": 1.0},
+            {"base": DeterministicArrivals(1.0), "burst_rate_tps": 0.0,
+             "period_s": 1.0, "burst_s": 1.0},
+            {"base": DeterministicArrivals(1.0), "burst_rate_tps": 1.0,
+             "period_s": 0.0, "burst_s": 1.0},
+            {"base": DeterministicArrivals(1.0), "burst_rate_tps": 1.0,
+             "period_s": 1.0, "burst_s": 2.0},
+            {"base": DeterministicArrivals(1.0), "burst_rate_tps": 1.0,
+             "period_s": 1.0, "burst_s": 1.0, "offset_s": -1.0},
+        ],
+    )
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ConfigError):
+            BurstOverlay(**kwargs)
+
+
+class TestStreamSeeds:
+    def test_stable_across_calls(self):
+        a = derive_stream_seed(1, "topo", "spout", 0)
+        b = derive_stream_seed(1, "topo", "spout", 0)
+        assert a == b
+
+    def test_distinct_per_task(self):
+        seeds = {
+            derive_stream_seed(1, "topo", "spout", i) for i in range(100)
+        }
+        assert len(seeds) == 100
+
+    def test_seed_changes_everything(self):
+        assert derive_stream_seed(1, "t", "s", 0) != derive_stream_seed(
+            2, "t", "s", 0
+        )

@@ -1,0 +1,84 @@
+"""Unit tests for the routing-key generators."""
+
+import itertools
+import random
+from collections import Counter
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.traffic.keys import UniformKeys, ZipfKeys
+
+
+def take(stream, n):
+    return list(itertools.islice(stream, n))
+
+
+class TestUniformKeys:
+    def test_keys_in_range(self):
+        keys = take(UniformKeys(num_keys=8).stream(random.Random(0)), 2000)
+        assert set(keys) == set(range(8))
+
+    def test_deterministic(self):
+        gen = UniformKeys(num_keys=16)
+        assert take(gen.stream(random.Random(9)), 500) == take(
+            gen.stream(random.Random(9)), 500
+        )
+
+    def test_roughly_uniform(self):
+        counts = Counter(
+            take(UniformKeys(num_keys=4).stream(random.Random(1)), 20000)
+        )
+        for key in range(4):
+            assert abs(counts[key] / 20000 - 0.25) < 0.02
+
+    def test_invalid(self):
+        with pytest.raises(ConfigError):
+            UniformKeys(num_keys=0)
+
+
+class TestZipfKeys:
+    def test_probabilities_normalised_and_decreasing(self):
+        probs = ZipfKeys(num_keys=50, exponent=1.2).probabilities()
+        assert sum(probs) == pytest.approx(1.0)
+        assert all(a > b for a, b in zip(probs, probs[1:]))
+
+    def test_hot_share_matches_probabilities(self):
+        gen = ZipfKeys(num_keys=10, exponent=1.5)
+        probs = gen.probabilities()
+        assert gen.hot_share(1) == pytest.approx(probs[0])
+        assert gen.hot_share(3) == pytest.approx(sum(probs[:3]))
+        assert gen.hot_share(99) == pytest.approx(1.0)
+
+    def test_empirical_frequencies_match(self):
+        gen = ZipfKeys(num_keys=20, exponent=1.3)
+        counts = Counter(take(gen.stream(random.Random(13)), 50000))
+        probs = gen.probabilities()
+        for key in range(5):  # the hot head carries the signal
+            assert counts[key] / 50000 == pytest.approx(probs[key], abs=0.01)
+
+    def test_keys_in_range(self):
+        keys = take(ZipfKeys(num_keys=6).stream(random.Random(2)), 5000)
+        assert min(keys) >= 0 and max(keys) < 6
+
+    def test_deterministic(self):
+        gen = ZipfKeys(num_keys=32, exponent=1.1)
+        assert take(gen.stream(random.Random(5)), 300) == take(
+            gen.stream(random.Random(5)), 300
+        )
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"num_keys": 0},
+            {"num_keys": 10, "exponent": 0.0},
+            {"num_keys": 10, "exponent": -1.0},
+        ],
+    )
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ConfigError):
+            ZipfKeys(**kwargs)
+
+    def test_hot_share_validates_top(self):
+        with pytest.raises(ConfigError):
+            ZipfKeys(num_keys=4).hot_share(0)

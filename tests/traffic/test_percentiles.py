@@ -1,0 +1,125 @@
+"""Unit tests for the TailDigest percentile estimator.
+
+Exactness is pinned against numpy's default 'linear' quantiles while
+the digest is uncompressed; after compression, rank error is bounded on
+deliberately adversarial streams (sorted, constant, bimodal).
+"""
+
+import math
+import random
+
+import pytest
+
+np = pytest.importorskip("numpy")
+
+from repro.traffic.percentiles import TailDigest  # noqa: E402
+
+QS = (0.0, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999, 1.0)
+
+
+def rank_error(samples, estimate, q):
+    """|empirical CDF position of the estimate - q|."""
+    ordered = sorted(samples)
+    below = sum(1 for v in ordered if v <= estimate)
+    return abs(below / len(ordered) - q)
+
+
+class TestExactSmallSamples:
+    @pytest.mark.parametrize("n", [1, 2, 3, 10, 100, 1000])
+    def test_matches_numpy_linear(self, n):
+        rng = random.Random(n)
+        samples = [rng.lognormvariate(0.0, 2.0) for _ in range(n)]
+        digest = TailDigest()  # buffer 2048 > n: exact mode
+        digest.extend(samples)
+        assert not digest.compressed
+        for q in QS:
+            assert digest.quantile(q) == pytest.approx(
+                float(np.quantile(samples, q)), rel=1e-12, abs=1e-12
+            )
+
+    def test_mean_and_count_exact(self):
+        samples = [0.5, 1.5, 2.5, 10.0]
+        digest = TailDigest()
+        digest.extend(samples)
+        assert digest.count == 4
+        assert digest.mean() == pytest.approx(np.mean(samples))
+
+
+class TestCompressedAccuracy:
+    def _check(self, samples, mid_tol=0.02, tail_tol=0.005):
+        digest = TailDigest(buffer_size=256)
+        digest.extend(samples)
+        assert digest.compressed
+        # Bounded memory: centroids, not samples.
+        assert digest.centroid_count() < len(samples) / 4
+        for q in (0.25, 0.5, 0.75):
+            assert rank_error(samples, digest.quantile(q), q) <= mid_tol
+        for q in (0.01, 0.99, 0.999):
+            assert rank_error(samples, digest.quantile(q), q) <= tail_tol
+        assert digest.quantile(0.0) == min(samples)
+        assert digest.quantile(1.0) == max(samples)
+
+    def test_sorted_stream(self):
+        self._check([float(i) for i in range(50000)])
+
+    def test_reverse_sorted_stream(self):
+        self._check([float(i) for i in range(50000, 0, -1)])
+
+    def test_bimodal_stream(self):
+        rng = random.Random(42)
+        samples = [
+            rng.gauss(1.0, 0.05) if rng.random() < 0.9
+            else rng.gauss(100.0, 5.0)
+            for _ in range(30000)
+        ]
+        self._check(samples)
+
+    def test_constant_stream(self):
+        digest = TailDigest(buffer_size=64)
+        digest.extend([7.25] * 10000)
+        assert digest.compressed
+        for q in QS:
+            assert digest.quantile(q) == 7.25
+
+    def test_heavy_tail_stream(self):
+        rng = random.Random(3)
+        samples = [rng.paretovariate(1.5) for _ in range(40000)]
+        self._check(samples)
+
+    def test_estimates_within_observed_range(self):
+        rng = random.Random(8)
+        samples = [rng.expovariate(0.1) for _ in range(20000)]
+        digest = TailDigest(buffer_size=128)
+        digest.extend(samples)
+        for q in QS:
+            assert min(samples) <= digest.quantile(q) <= max(samples)
+
+
+class TestDeterminism:
+    def test_same_stream_same_estimates(self):
+        rng = random.Random(1)
+        samples = [rng.lognormvariate(0, 1) for _ in range(10000)]
+        a, b = TailDigest(buffer_size=128), TailDigest(buffer_size=128)
+        a.extend(samples)
+        b.extend(samples)
+        assert a.quantiles(QS) == b.quantiles(QS)
+        assert a.centroid_count() == b.centroid_count()
+
+
+class TestValidationAndEdges:
+    def test_empty_digest_returns_zero(self):
+        assert TailDigest().quantile(0.5) == 0.0
+        assert TailDigest().mean() == 0.0
+
+    @pytest.mark.parametrize("q", [-0.1, 1.1, math.nan])
+    def test_out_of_range_quantile(self, q):
+        digest = TailDigest()
+        digest.add(1.0)
+        with pytest.raises(ValueError):
+            digest.quantile(q)
+
+    def test_bad_parameters(self):
+        with pytest.raises(ValueError):
+            TailDigest(compression=5)
+        with pytest.raises(ValueError):
+            TailDigest(buffer_size=2)

@@ -1,0 +1,124 @@
+"""Unit tests for arrival traces: freezing, persistence, replay."""
+
+import random
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.traffic.trace import ArrivalTrace, TraceReplay
+
+SRC_A = ("topo", "spout", 0)
+SRC_B = ("topo", "spout", 1)
+
+LOG = [
+    (SRC_A, 0.5, 50, None),
+    (SRC_B, 0.7, 50, 3),
+    (SRC_A, 1.2, 25, 0),
+    (SRC_A, 1.2, 10, None),
+    (SRC_B, 9.0, 50, 41),
+]
+
+
+class TestFromLog:
+    def test_sources_deduped_in_first_seen_order(self):
+        trace = ArrivalTrace.from_log(LOG)
+        assert trace.sources == (SRC_A, SRC_B)
+        assert len(trace) == 5
+        assert trace.total_tuples() == 185
+        assert trace.span_s() == 9.0
+
+    def test_none_key_encoded_as_minus_one(self):
+        trace = ArrivalTrace.from_log(LOG)
+        assert trace.records[0] == (0, 0.5, 50, -1)
+        assert trace.records[1] == (1, 0.7, 50, 3)
+
+    def test_for_source_restores_none_keys(self):
+        trace = ArrivalTrace.from_log(LOG)
+        assert trace.for_source(SRC_A) == [
+            (0.5, 50, None), (1.2, 25, 0), (1.2, 10, None)
+        ]
+        assert trace.for_source(("other", "spout", 0)) == []
+
+    def test_empty_log(self):
+        trace = ArrivalTrace.from_log([])
+        assert len(trace) == 0
+        assert trace.span_s() == 0.0
+        assert trace.total_tuples() == 0
+
+
+class TestValidation:
+    def test_unknown_source_index_rejected(self):
+        with pytest.raises(ConfigError):
+            ArrivalTrace(sources=(SRC_A,), records=((1, 0.0, 5, -1),))
+
+    def test_zero_tuple_record_rejected(self):
+        with pytest.raises(ConfigError):
+            ArrivalTrace(sources=(SRC_A,), records=((0, 0.0, 0, -1),))
+
+
+class TestPersistence:
+    def test_round_trip(self, tmp_path):
+        trace = ArrivalTrace.from_log(LOG)
+        path = tmp_path / "arrivals.rtrc"
+        trace.save(path)
+        assert ArrivalTrace.load(path) == trace
+
+    def test_round_trip_large_random(self, tmp_path):
+        rng = random.Random(0)
+        log = []
+        now = 0.0
+        for _ in range(5000):
+            now += rng.expovariate(10.0)
+            source = ("t", "s", rng.randrange(4))
+            key = rng.randrange(64) if rng.random() < 0.5 else None
+            log.append((source, now, rng.randrange(1, 100), key))
+        trace = ArrivalTrace.from_log(log)
+        path = tmp_path / "big.rtrc"
+        trace.save(path)
+        loaded = ArrivalTrace.load(path)
+        assert loaded == trace
+        # Compact: 26 bytes/record plus a small JSON header.
+        assert path.stat().st_size < 5000 * 26 + 512
+
+    def test_bad_magic_rejected(self, tmp_path):
+        path = tmp_path / "bogus.rtrc"
+        path.write_bytes(b"NOTATRACE")
+        with pytest.raises(ConfigError):
+            ArrivalTrace.load(path)
+
+    def test_truncated_file_rejected(self, tmp_path):
+        trace = ArrivalTrace.from_log(LOG)
+        path = tmp_path / "cut.rtrc"
+        trace.save(path)
+        data = path.read_bytes()
+        path.write_bytes(data[:-10])
+        with pytest.raises(ConfigError):
+            ArrivalTrace.load(path)
+
+
+class TestTraceReplay:
+    def test_streams_exactly_the_recorded_arrivals(self):
+        replay = TraceReplay(ArrivalTrace.from_log(LOG))
+        out = list(replay.stream(random.Random(0), 50, source=SRC_B))
+        assert out == [(0.7, 50, 3), (9.0, 50, 41)]
+
+    def test_absent_source_streams_nothing(self):
+        replay = TraceReplay(ArrivalTrace.from_log(LOG))
+        assert list(
+            replay.stream(random.Random(0), 50, source=("x", "y", 9))
+        ) == []
+
+    def test_requires_source(self):
+        replay = TraceReplay(ArrivalTrace.from_log(LOG))
+        with pytest.raises(ConfigError):
+            next(replay.stream(random.Random(0), 50))
+
+    def test_needs_a_trace(self):
+        with pytest.raises(ConfigError):
+            TraceReplay(trace="nope")
+
+    def test_mean_rate(self):
+        replay = TraceReplay(ArrivalTrace.from_log(LOG))
+        # 185 tuples over 9 s across 2 sources.
+        assert replay.mean_rate_tps() == pytest.approx(185 / 9.0 / 2)
+        assert TraceReplay(ArrivalTrace.from_log([])).mean_rate_tps() == 0.0
