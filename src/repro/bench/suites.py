@@ -1,6 +1,6 @@
 """The benchmark registry: what ``repro bench`` measures.
 
-Ten probes, ordered cheapest first:
+Eleven probes, ordered cheapest first:
 
 * ``engine-churn`` — raw DES event loop: payload-carrying events that
   perpetually reschedule themselves through the heap.
@@ -26,6 +26,10 @@ Ten probes, ordered cheapest first:
   capacity: Poisson arrival scheduling, per-arrival key assignment, and
   the end-to-end latency digest, on an R-Storm-packed mid-size linear
   topology deliberately driven past saturation.
+* ``elastic-adapt`` — the elastic control loop adapting to sustained
+  1.5x overload: per-period queue sampling, M/M/k sizing, live
+  scale-up rescales and hot-executor rebalances on an R-Storm-packed
+  linear topology.
 
 Every probe's event count is a deterministic function of the constants
 below; changing them invalidates the committed baselines (see
@@ -81,6 +85,14 @@ DELIVERY_REPLAY_MAX_RETRIES = 3
 TRAFFIC_OVERLOAD_DURATION_S = 120.0
 TRAFFIC_OVERLOAD_MULTIPLIER = 1.5
 TRAFFIC_OVERLOAD_PARALLELISM = 8
+
+#: The elastic-adaptation probe: the sustained-overload scenario of the
+#: ``elastic`` experiment — Poisson at 1.5x nominal on the parallelism-6
+#: compute chain with the control loop enabled, so the measured path
+#: includes control-period sampling, M/M/k sizing, scheduler-delta
+#: scale-ups and live rescales.
+ELASTIC_ADAPT_DURATION_S = 120.0
+ELASTIC_ADAPT_MULTIPLIER = 1.5
 
 #: The large-cluster scaling probe: 8 racks x 64 production-size nodes
 #: (16 GB / 8 cores / 1 Gbps each) scheduling five concurrent
@@ -403,6 +415,39 @@ def _prepare_traffic_overload() -> Callable[[], int]:
     return workload
 
 
+def _prepare_elastic_adapt() -> Callable[[], int]:
+    from repro.cluster.builders import emulab_testbed
+    from repro.experiments.overload import BASE_RATE_TPS
+    from repro.experiments.parallel import ElasticUnit, spec
+    from repro.scheduler.rstorm import RStormScheduler
+    from repro.simulation.config import SimulationConfig
+    from repro.traffic.arrivals import PoissonArrivals
+    from repro.workloads.micro import linear_topology
+
+    unit = ElasticUnit(
+        scheduler=spec(RStormScheduler),
+        topologies=(spec(linear_topology, "compute"),),
+        cluster=spec(emulab_testbed),
+        config=SimulationConfig(
+            duration_s=ELASTIC_ADAPT_DURATION_S,
+            warmup_s=15.0,
+            arrival_process=PoissonArrivals(
+                rate_tps=BASE_RATE_TPS * ELASTIC_ADAPT_MULTIPLIER
+            ),
+        ),
+        storm=(("nimbus.elastic.enabled", True),),
+        label="bench:elastic-adapt",
+    )
+
+    def workload() -> int:
+        outcome = unit.execute()
+        if not outcome.decisions:  # pragma: no cover - sanity
+            raise AssertionError("elastic bench committed no scale actions")
+        return outcome.report.events_processed
+
+    return workload
+
+
 REGISTRY: Dict[str, Benchmark] = {
     bench.name: bench
     for bench in (
@@ -498,6 +543,17 @@ REGISTRY: Dict[str, Benchmark] = {
                 f"{TRAFFIC_OVERLOAD_DURATION_S:g} simulated s"
             ),
             prepare=_prepare_traffic_overload,
+            repeats=3,
+        ),
+        Benchmark(
+            name="elastic-adapt",
+            description=(
+                "elastic control loop adapting to sustained "
+                f"{ELASTIC_ADAPT_MULTIPLIER:g}x overload: sampling, "
+                "M/M/k sizing, live rescales and rebalances, "
+                f"{ELASTIC_ADAPT_DURATION_S:g} simulated s"
+            ),
+            prepare=_prepare_elastic_adapt,
             repeats=3,
         ),
     )

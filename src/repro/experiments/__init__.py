@@ -4,6 +4,7 @@ from typing import Callable, Dict
 
 from repro.experiments import (
     ablations,
+    elastic,
     fault_recovery,
     fig8_network_bound,
     fig9_compute_bound,
@@ -25,6 +26,8 @@ from repro.experiments.harness import (
 from repro.experiments.parallel import (
     ChaosOutcome,
     ChaosUnit,
+    ElasticOutcome,
+    ElasticUnit,
     ExperimentContext,
     FactorySpec,
     ScheduleOutcome,
@@ -47,11 +50,14 @@ REGISTRY: Dict[str, Callable[..., ExperimentResult]] = {
     "scalability": scalability.run,
     "chaos": fault_recovery.run,
     "traffic": overload.run,
+    "elastic": elastic.run,
 }
 
 __all__ = [
     "ChaosOutcome",
     "ChaosUnit",
+    "ElasticOutcome",
+    "ElasticUnit",
     "ExperimentContext",
     "ExperimentResult",
     "FactorySpec",

@@ -51,6 +51,7 @@ from repro.faults.injector import FaultInjector
 from repro.faults.monitor import RecoveryMonitor, RecoveryReport
 from repro.faults.schedule import FaultSchedule
 from repro.nimbus.config import StormConfig
+from repro.nimbus.elastic import ElasticController, ElasticDecision
 from repro.nimbus.failure_detector import HeartbeatFailureDetector
 from repro.nimbus.nimbus import Nimbus
 from repro.nimbus.supervisor import Supervisor
@@ -69,6 +70,8 @@ __all__ = [
     "ScheduleOutcome",
     "ChaosUnit",
     "ChaosOutcome",
+    "ElasticUnit",
+    "ElasticOutcome",
     "run_units",
     "ExperimentContext",
 ]
@@ -375,6 +378,112 @@ class ChaosUnit:
             ),
             scheduling_failures=tuple(nimbus.scheduling_failures),
             quarantined=tuple(nimbus.quarantine_events),
+        )
+
+
+@dataclass(frozen=True)
+class ElasticOutcome:
+    """Everything measured for one elastic-runtime run."""
+
+    scheduler: str
+    report: SimulationReport
+    #: final (post-rescale) assignments, per topology
+    assignments: Dict[str, Assignment]
+    #: per-topology churn accounting distilled from the causal trace
+    #: (fault- vs elastic-driven moves split by the monitor)
+    recovery: Dict[str, RecoveryReport]
+    #: every committed control action, in decision order
+    decisions: Tuple[ElasticDecision, ...]
+    #: total elastic churn (tasks moved + added + removed)
+    tasks_moved: int
+    #: ``(simulated time, message)`` of scale attempts the scheduler refused
+    actions_failed: Tuple[Tuple[float, str], ...]
+    #: topology -> component -> parallelism at end of run
+    final_parallelism: Dict[str, Dict[str, int]]
+
+
+@dataclass(frozen=True)
+class ElasticUnit:
+    """One run with the elastic control loop attached (or deliberately
+    disabled — the static baselines use the same unit with
+    ``nimbus.elastic.enabled`` left false, so both sides of the
+    comparison take the identical code path).
+
+    ``storm`` carries flat ``nimbus.elastic.*`` StormConfig overrides as
+    a sorted tuple of ``(key, value)`` pairs, keeping the unit hashable
+    and its cache key stable.
+    """
+
+    scheduler: FactorySpec
+    topologies: Tuple[FactorySpec, ...]
+    cluster: FactorySpec
+    config: SimulationConfig
+    #: flat StormConfig overrides, e.g. (("nimbus.elastic.enabled", True),)
+    storm: Tuple[Tuple[str, Any], ...] = ()
+    interrack_uplink_mbps: Optional[float] = None
+    trial: int = 0
+    label: str = field(default="", compare=False)
+
+    def cache_token(self) -> Any:
+        return (
+            "elastic",
+            self.scheduler,
+            self.topologies,
+            self.cluster,
+            self.config,
+            self.storm,
+            self.interrack_uplink_mbps,
+            self.trial,
+        )
+
+    def execute(self) -> ElasticOutcome:
+        random.seed(_seed_for(self))
+        scheduler = self.scheduler.build()
+        topologies = [t.build() for t in self.topologies]
+        cluster = self.cluster.build()
+
+        storm_config = StormConfig(dict(self.storm)) if self.storm else None
+        nimbus = Nimbus(cluster, scheduler=scheduler, config=storm_config)
+        for topology in topologies:
+            nimbus.submit_topology(topology)
+        nimbus.schedule_round()
+
+        run = SimulationRun(
+            cluster,
+            [(t, nimbus.assignments[t.topology_id]) for t in topologies],
+            self.config,
+            interrack_uplink_mbps=self.interrack_uplink_mbps,
+        )
+        monitor = RecoveryMonitor()
+        monitor.attach(run)
+        controller = ElasticController(nimbus)
+        controller.attach(run)
+
+        report = run.run()
+        recovery = {
+            t.topology_id: monitor.report(t.topology_id, report)
+            for t in topologies
+        }
+        final_parallelism = {
+            topology_id: {
+                name: comp.parallelism
+                for name, comp in sorted(
+                    nimbus.topology(topology_id).components.items()
+                )
+            }
+            for topology_id in sorted(nimbus.assignments)
+        }
+        # unwrap the tracer's closures so the outcome stays picklable
+        monitor.tracer.uninstall()
+        return ElasticOutcome(
+            scheduler=scheduler.name,
+            report=report,
+            assignments=dict(nimbus.assignments),
+            recovery=recovery,
+            decisions=tuple(controller.decisions),
+            tasks_moved=controller.tasks_moved,
+            actions_failed=tuple(controller.actions_failed),
+            final_parallelism=final_parallelism,
         )
 
 

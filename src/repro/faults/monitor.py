@@ -37,17 +37,48 @@ def _round(value: Optional[float]) -> Optional[float]:
     return None if value is None else round(value, 6)
 
 
-def _moved_of(detail: str) -> Optional[int]:
-    """Parse the churn count out of a migrate event detail
-    (``"onto N nodes, moved=M"``); None for pre-churn traces."""
-    marker = "moved="
+def _int_field(detail: str, name: str) -> Optional[int]:
+    """Parse an integer ``name=value`` field out of an event detail
+    string; None when the field is absent or malformed."""
+    marker = name + "="
     idx = detail.rfind(marker)
     if idx < 0:
         return None
+    rest = detail[idx + len(marker):]
+    end = rest.find(",")
+    if end >= 0:
+        rest = rest[:end]
     try:
-        return int(detail[idx + len(marker):])
+        return int(rest)
     except ValueError:  # pragma: no cover - malformed detail
         return None
+
+
+def _moved_of(detail: str) -> Optional[int]:
+    """Parse the churn count out of a migrate/rescale event detail
+    (``"..., moved=M"``); None for pre-churn traces."""
+    return _int_field(detail, "moved")
+
+
+def _reason_of(detail: str) -> str:
+    """Attribution tag of a migrate event (``"..., reason=R, ..."``);
+    traces recorded before churn attribution default to ``"fault"``."""
+    marker = "reason="
+    idx = detail.find(marker)
+    if idx < 0:
+        return "fault"
+    rest = detail[idx + len(marker):]
+    end = rest.find(",")
+    return rest[:end] if end >= 0 else rest
+
+
+def _rescale_churn(detail: str) -> int:
+    """Total executor churn of one rescale event: tasks moved plus
+    tasks added plus tasks removed."""
+    return sum(
+        _int_field(detail, name) or 0
+        for name in ("moved", "added", "removed")
+    )
 
 
 @dataclass(frozen=True)
@@ -92,8 +123,17 @@ class RecoveryReport:
     total_failed_tuples: int
     migrations: int
     faults: Tuple[FaultRecovery, ...]
-    #: total reassignment churn: tasks moved across all migrations
+    #: total reassignment churn: tasks moved across all migrations and
+    #: rescales (fault-driven + elastic-driven)
     total_tasks_moved: int = 0
+    #: churn from fault-recovery reschedules (Nimbus reacting to node
+    #: failures/quarantine) — migrate events tagged ``reason=fault``
+    fault_tasks_moved: int = 0
+    #: churn from the elastic controller (scale + rebalance actions) —
+    #: ``rescale`` events plus migrates tagged ``reason=elastic``
+    elastic_tasks_moved: int = 0
+    #: elastic scale actions (rescale events) observed for the topology
+    rescales: int = 0
     # -- delivery semantics (zero unless the at-least-once layer and/or
     # -- message-loss faults were active in the run) ------------------------
     replayed_tuples: int = 0
@@ -147,6 +187,9 @@ class RecoveryReport:
             "total_failed_tuples": self.total_failed_tuples,
             "migrations": self.migrations,
             "total_tasks_moved": self.total_tasks_moved,
+            "fault_tasks_moved": self.fault_tasks_moved,
+            "elastic_tasks_moved": self.elastic_tasks_moved,
+            "rescales": self.rescales,
             "replayed_tuples": self.replayed_tuples,
             "exhausted_tuples": self.exhausted_tuples,
             "lost_tuples": self.lost_tuples,
@@ -230,7 +273,20 @@ class RecoveryMonitor:
 
         injects = self.tracer.query(kind="inject")
         expires = self.tracer.query(kind="expire")
-        migrates = self.tracer.query(kind="migrate", topology=topology_id)
+        all_migrates = self.tracer.query(kind="migrate", topology=topology_id)
+        rescale_events = self.tracer.query(
+            kind="rescale", topology=topology_id
+        )
+        # Churn attribution: fault-recovery reschedules vs elastic
+        # controller actions.  Per-fault metrics below only look at the
+        # fault-driven migrations, so a concurrently-running elastic
+        # loop cannot masquerade as recovery.
+        migrates = [
+            m for m in all_migrates if _reason_of(m.detail) != "elastic"
+        ]
+        elastic_migrates = [
+            m for m in all_migrates if _reason_of(m.detail) == "elastic"
+        ]
 
         first_fault = injects[0].time if injects else None
         baseline_values = [
@@ -325,6 +381,17 @@ class RecoveryMonitor:
             if post_fault_replays:
                 time_to_drain = post_fault_replays[-1] - last_fault
 
+        fault_moved = sum(
+            moved
+            for m in migrates
+            if (moved := _moved_of(m.detail)) is not None
+        )
+        elastic_moved = sum(
+            moved
+            for m in elastic_migrates
+            if (moved := _moved_of(m.detail)) is not None
+        ) + sum(_rescale_churn(r.detail) for r in rescale_events)
+
         return RecoveryReport(
             topology_id=topology_id,
             baseline_tuples_per_window=baseline,
@@ -332,11 +399,10 @@ class RecoveryMonitor:
             total_failed_tuples=sim_report.failed(topology_id),
             migrations=len(migrates),
             faults=tuple(faults),
-            total_tasks_moved=sum(
-                moved
-                for m in migrates
-                if (moved := _moved_of(m.detail)) is not None
-            ),
+            total_tasks_moved=fault_moved + elastic_moved,
+            fault_tasks_moved=fault_moved,
+            elastic_tasks_moved=elastic_moved,
+            rescales=len(rescale_events),
             replayed_tuples=sim_report.replayed(topology_id),
             exhausted_tuples=sim_report.exhausted(topology_id),
             lost_tuples=sim_report.lost(topology_id),

@@ -1,12 +1,19 @@
 """Coordination plane: Nimbus master, supervisors, ZooKeeper, config."""
 
 from repro.nimbus.config import StormConfig, parse_storm_yaml
+from repro.nimbus.elastic import (
+    ElasticController,
+    ElasticDecision,
+    required_parallelism,
+)
 from repro.nimbus.failure_detector import HeartbeatFailureDetector
 from repro.nimbus.nimbus import Nimbus
 from repro.nimbus.supervisor import SUPERVISORS_PATH, Supervisor
 from repro.nimbus.zookeeper import InMemoryZooKeeper, ZNode
 
 __all__ = [
+    "ElasticController",
+    "ElasticDecision",
     "HeartbeatFailureDetector",
     "InMemoryZooKeeper",
     "Nimbus",
@@ -15,4 +22,5 @@ __all__ = [
     "Supervisor",
     "ZNode",
     "parse_storm_yaml",
+    "required_parallelism",
 ]

@@ -32,6 +32,15 @@ DEFAULTS: Dict[str, Any] = {
     "nimbus.quarantine.threshold": 3,
     "nimbus.quarantine.window.secs": 120.0,
     "nimbus.quarantine.probation.secs": 60.0,
+    "nimbus.elastic.enabled": False,
+    "nimbus.elastic.interval.secs": 15.0,
+    "nimbus.elastic.target.utilisation": 0.7,
+    "nimbus.elastic.hysteresis": 0.25,
+    "nimbus.elastic.min.parallelism": 1,
+    "nimbus.elastic.max.parallelism": 16,
+    "nimbus.elastic.scale.down.patience": 3,
+    "nimbus.elastic.rebalance.enabled": True,
+    "nimbus.elastic.rebalance.threshold": 0.85,
     "topology.workers": None,
     "topology.max.spout.pending": 10,
     "topology.message.timeout.secs": 30.0,
@@ -204,6 +213,87 @@ class StormConfig:
     @property
     def quarantine_probation_s(self) -> float:
         return self._positive_number("nimbus.quarantine.probation.secs")
+
+    @property
+    def elastic_enabled(self) -> bool:
+        value = self["nimbus.elastic.enabled"]
+        if not isinstance(value, bool):
+            raise ConfigError("nimbus.elastic.enabled must be a bool")
+        return value
+
+    @property
+    def elastic_interval_s(self) -> float:
+        return self._positive_number("nimbus.elastic.interval.secs")
+
+    @property
+    def elastic_target_utilisation(self) -> float:
+        value = self._positive_number("nimbus.elastic.target.utilisation")
+        if value > 1.0:
+            raise ConfigError(
+                "nimbus.elastic.target.utilisation must be in (0, 1], "
+                f"got {value!r}"
+            )
+        return value
+
+    @property
+    def elastic_hysteresis(self) -> float:
+        value = self["nimbus.elastic.hysteresis"]
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            raise ConfigError("nimbus.elastic.hysteresis must be a number")
+        if not 0.0 <= value < 1.0:
+            raise ConfigError(
+                f"nimbus.elastic.hysteresis must be in [0, 1), got {value!r}"
+            )
+        return float(value)
+
+    @property
+    def elastic_min_parallelism(self) -> int:
+        value = self["nimbus.elastic.min.parallelism"]
+        if not isinstance(value, int) or isinstance(value, bool) or value < 1:
+            raise ConfigError(
+                "nimbus.elastic.min.parallelism must be an int >= 1"
+            )
+        return value
+
+    @property
+    def elastic_max_parallelism(self) -> int:
+        value = self["nimbus.elastic.max.parallelism"]
+        if not isinstance(value, int) or isinstance(value, bool) or value < 1:
+            raise ConfigError(
+                "nimbus.elastic.max.parallelism must be an int >= 1"
+            )
+        if value < self.elastic_min_parallelism:
+            raise ConfigError(
+                "nimbus.elastic.max.parallelism must be >= "
+                "nimbus.elastic.min.parallelism"
+            )
+        return value
+
+    @property
+    def elastic_scale_down_patience(self) -> int:
+        value = self["nimbus.elastic.scale.down.patience"]
+        if not isinstance(value, int) or isinstance(value, bool) or value < 1:
+            raise ConfigError(
+                "nimbus.elastic.scale.down.patience must be an int >= 1"
+            )
+        return value
+
+    @property
+    def elastic_rebalance_enabled(self) -> bool:
+        value = self["nimbus.elastic.rebalance.enabled"]
+        if not isinstance(value, bool):
+            raise ConfigError("nimbus.elastic.rebalance.enabled must be a bool")
+        return value
+
+    @property
+    def elastic_rebalance_threshold(self) -> float:
+        value = self._positive_number("nimbus.elastic.rebalance.threshold")
+        if value > 1.0:
+            raise ConfigError(
+                "nimbus.elastic.rebalance.threshold must be in (0, 1], "
+                f"got {value!r}"
+            )
+        return value
 
     @property
     def max_spout_pending(self) -> int:

@@ -13,7 +13,7 @@ assignments, exactly as the paper describes.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Mapping, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.cluster.cluster import Cluster
 from repro.cluster.node import Node
@@ -238,7 +238,7 @@ class Nimbus:
         self.rounds.append(round_info)
         return round_info
 
-    # -- simulation integration ---------------------------------------------------------
+    # -- simulation integration ----------------------------------------
 
     def attach(
         self,

@@ -11,7 +11,7 @@ nodes bound to sessions, and one-shot watches on nodes and children.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Set
 
 from repro.errors import MembershipError

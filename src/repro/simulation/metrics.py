@@ -182,6 +182,17 @@ class StatisticServer:
     def busy_core_seconds(self, node_id: str) -> float:
         return self._busy.get(node_id, 0.0)
 
+    def busy_snapshot(self) -> Dict[str, float]:
+        """Copy of per-node busy core-seconds — the elastic controller
+        diffs consecutive snapshots to estimate node utilisation per
+        control period."""
+        return dict(self._busy)
+
+    def processed_snapshot(self) -> Dict[Tuple[str, str], int]:
+        """Copy of per-(topology, component) processed-tuple totals —
+        diffed per control period for observed service throughput."""
+        return dict(self._processed_totals)
+
     def nic_bytes(self, node_id: str) -> int:
         return self._nic_bytes.get(node_id, 0)
 

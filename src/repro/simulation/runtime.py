@@ -421,7 +421,10 @@ class SimulationRun:
             raise SimulationError(f"cannot degrade unknown node {node_id!r}")
         node_rt.fault_factor = factor
 
-    def migrate(self, topology_id: str, new_assignment: Assignment) -> int:
+    def migrate(
+        self, topology_id: str, new_assignment: Assignment,
+        reason: str = "fault",
+    ) -> int:
         """Rebind a topology's tasks to a new assignment immediately.
 
         Tasks whose slot is unchanged keep their queues; moved tasks carry
@@ -429,6 +432,12 @@ class SimulationRun:
         (the default) that carry approximates the post-replay state
         without simulating the replay traffic; with ``at_least_once`` on,
         trees stranded by the move genuinely time out and replay.
+
+        ``reason`` tags the move for churn attribution (``"fault"`` for
+        Nimbus recovery reschedules, ``"elastic"`` for controller-driven
+        rebalances); the runtime itself ignores it, but an installed
+        Tracer records it so the RecoveryMonitor can split fault-driven
+        from elastic-driven churn.
 
         Returns the number of tasks that changed slot — the reassignment
         churn the RecoveryMonitor reports per recovery.
@@ -473,6 +482,183 @@ class SimulationRun:
             if spout.alive:
                 self._try_emit(spout)
         return moved
+
+    def rescale(
+        self,
+        topology_id: str,
+        new_topology: Topology,
+        new_assignment: Assignment,
+    ) -> Tuple[int, int, int]:
+        """Swap in a rescaled topology (changed bolt parallelism) mid-run.
+
+        ``new_topology`` must come from :meth:`Topology.with_parallelism`
+        (or preserve task identity the same way): tasks present in both
+        generations keep their ids, so their runtimes — queues, in-flight
+        trees, acker state — survive.  Added tasks start empty; removed
+        tasks lose their queued work exactly as a decommissioned worker
+        would (in-flight trees routed through them time out, and with
+        ``at_least_once`` on they replay — the delivery audit stays
+        closed).
+
+        Spout parallelism cannot change: arrival streams and pending-tree
+        credit are bound to spout task identity, so the elastic layer
+        scales bolts only.
+
+        Returns ``(moved, added, removed)`` task counts.
+        """
+        topo_rt = self._topology_runtime(topology_id)
+        if new_topology.topology_id != topology_id:
+            raise SimulationError(
+                f"rescale topology id mismatch: "
+                f"{new_topology.topology_id!r} != {topology_id!r}"
+            )
+        if not new_assignment.is_complete(new_topology):
+            raise SchedulingError(
+                f"rescale assignment for {topology_id!r} is incomplete: "
+                f"missing {new_assignment.missing_tasks(new_topology)}"
+            )
+        old_topology = topo_rt.topology
+        old_tasks = set(old_topology.tasks)
+        new_tasks = set(new_topology.tasks)
+        old_spouts = {
+            t for t in old_tasks
+            if old_topology.component(t.component).is_spout
+        }
+        new_spouts = {
+            t for t in new_tasks
+            if new_topology.component(t.component).is_spout
+        }
+        if old_spouts != new_spouts:
+            raise SimulationError(
+                f"rescale cannot change spout tasks of {topology_id!r}: "
+                "arrival streams are bound to spout task identity"
+            )
+        removed = sorted(old_tasks - new_tasks)
+        added = sorted(new_tasks - old_tasks)
+        # Tear down removed tasks: their queued work dies with them.
+        for task in removed:
+            rt = self._task_runtimes.pop(task)
+            rt.alive = False
+            rt.work.clear()
+            rt.out_routes = []
+            if rt.queued:
+                try:
+                    rt.node.ready.remove(rt)
+                except ValueError:  # pragma: no cover - defensive
+                    pass
+                rt.queued = False
+            rt.node.tasks.remove(rt)
+        # Move persisting tasks whose slot changed; rebind all of them to
+        # the new generation's component objects.
+        moved = 0
+        for task in sorted(old_tasks & new_tasks):
+            rt = self._task_runtimes[task]
+            rt.component = new_topology.component(task.component)
+            rt.profile = rt.component.profile
+            new_slot = new_assignment.slot_of(task)
+            if new_slot == rt.slot:
+                continue
+            moved += 1
+            new_node = self._nodes.get(new_slot.node_id)
+            if new_node is None:
+                raise SimulationError(
+                    f"rescale places {task} on unknown node "
+                    f"{new_slot.node_id!r}"
+                )
+            rt.node.tasks.remove(rt)
+            if rt.queued:
+                try:
+                    rt.node.ready.remove(rt)
+                except ValueError:  # pragma: no cover - defensive
+                    pass
+                rt.queued = False
+            rt.slot = new_slot
+            rt.node = new_node
+            rt.alive = new_node.alive
+            new_node.tasks.append(rt)
+            if rt.alive and rt.work and not rt.running:
+                rt.queued = True
+                new_node.ready.append(rt)
+                self._dispatch(new_node)
+        # Bring up added tasks (empty queues, ready for routed work).
+        for task in added:
+            slot = new_assignment.slot_of(task)
+            node_rt = self._nodes.get(slot.node_id)
+            if node_rt is None:
+                raise SimulationError(
+                    f"rescale places {task} on unknown node {slot.node_id!r}"
+                )
+            rt = _TaskRuntime(
+                task, new_topology.component(task.component), topo_rt,
+                slot, node_rt,
+            )
+            rt.alive = node_rt.alive
+            node_rt.tasks.append(rt)
+            self._task_runtimes[task] = rt
+        # Rewire every producer's routes against the new consumer sets
+        # (fresh grouping state, as _add_topology does).
+        runtimes = {t: self._task_runtimes[t] for t in new_topology.tasks}
+        for task in new_topology.tasks:
+            producer = runtimes[task]
+            producer.out_routes = []
+            for consumer_name in new_topology.downstream_of(task.component):
+                consumer_comp = new_topology.component(consumer_name)
+                subscription = next(
+                    sub
+                    for sub in consumer_comp.subscriptions
+                    if sub.source == task.component
+                )
+                consumers = [
+                    runtimes[t] for t in new_topology.tasks_of(consumer_name)
+                ]
+                producer.out_routes.append(
+                    _OutRoute(
+                        consumer_name,
+                        subscription.grouping.fresh(),
+                        consumers,
+                    )
+                )
+        topo_rt.topology = new_topology
+        topo_rt.assignment = new_assignment
+        topo_rt.spouts = [runtimes[t] for t in sorted(new_spouts)]
+        self._placement_version += 1
+        self._recompute_node_factors()
+        for spout in topo_rt.spouts:
+            if spout.alive:
+                self._try_emit(spout)
+        return moved, len(added), len(removed)
+
+    # -- load sampling (elastic control loop) ------------------------------
+
+    def component_backlog(self, topology_id: str, component: str) -> int:
+        """Input tuples queued (not yet serviced) across a component's
+        tasks — the backlog signal the elastic controller samples."""
+        topo_rt = self._topology_runtime(topology_id)
+        total = 0
+        for task in topo_rt.topology.tasks_of(component):
+            rt = self._task_runtimes[task]
+            for kind, payload in rt.work:
+                if kind == _PROCESS:
+                    total += payload[1]
+                elif kind == _REPLAY:
+                    total += payload[0]
+                elif payload is not None:  # open-loop _EMIT
+                    total += payload[1]
+                else:  # closed-loop _EMIT: profile-sized batch
+                    total += rt.profile.emit_batch_tuples
+        return total
+
+    def task_queue_depths(self, topology_id: str) -> Dict[Task, int]:
+        """Queued work items per task (rebalance hot-spot signal)."""
+        topo_rt = self._topology_runtime(topology_id)
+        return {
+            task: len(self._task_runtimes[task].work)
+            for task in topo_rt.topology.tasks
+        }
+
+    def current_topology(self, topology_id: str) -> Topology:
+        """The live (possibly rescaled) topology generation."""
+        return self._topology_runtime(topology_id).topology
 
     # -- failure ------------------------------------------------------------------
 

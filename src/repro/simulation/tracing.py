@@ -36,7 +36,7 @@ class TraceEvent:
         time: Simulated time in seconds.
         kind: ``emit`` | ``deliver`` | ``ack`` | ``fail`` | ``crash`` |
             ``migrate`` | ``node_down`` | ``node_up`` | ``inject`` |
-            ``expire`` | ``reschedule`` | ``replay``.
+            ``expire`` | ``reschedule`` | ``replay`` | ``rescale``.
         topology: Topology id (empty for cluster-level events).
         detail: Human-readable specifics (task, node, counts).
     """
@@ -55,7 +55,7 @@ class Tracer:
 
     KINDS = (
         "emit", "deliver", "ack", "fail", "crash", "migrate", "node_down",
-        "node_up", "inject", "expire", "reschedule", "replay",
+        "node_up", "inject", "expire", "reschedule", "replay", "rescale",
     )
 
     def __init__(self, capacity: int = 100_000):
@@ -170,19 +170,40 @@ class Tracer:
 
         original_migrate = run.migrate
 
-        def traced_migrate(topology_id, new_assignment):
+        def traced_migrate(topology_id, new_assignment, reason="fault"):
             # Call first: the migration's return value is its churn
             # (tasks that changed slot), recorded in the event detail.
-            moved = original_migrate(topology_id, new_assignment)
+            # ``reason`` splits fault-recovery churn from elastic
+            # rebalance churn in the RecoveryMonitor.
+            moved = original_migrate(topology_id, new_assignment, reason)
             tracer.record(
                 run.sim.now,
                 "migrate",
                 topology_id,
-                f"onto {len(new_assignment.nodes)} nodes, moved={moved}",
+                f"onto {len(new_assignment.nodes)} nodes, "
+                f"reason={reason}, moved={moved}",
             )
             return moved
 
         run.migrate = traced_migrate
+
+        original_rescale = run.rescale
+
+        def traced_rescale(topology_id, new_topology, new_assignment):
+            moved, added, removed = original_rescale(
+                topology_id, new_topology, new_assignment
+            )
+            tracer.record(
+                run.sim.now,
+                "rescale",
+                topology_id,
+                f"onto {len(new_assignment.nodes)} nodes, "
+                f"tasks={new_topology.num_tasks}, added={added}, "
+                f"removed={removed}, moved={moved}",
+            )
+            return moved, added, removed
+
+        run.rescale = traced_rescale
 
         # acks and failures are observed through the stats hooks
         stats = run.stats
@@ -211,6 +232,7 @@ class Tracer:
             (run, "_fail_node"),
             (run, "_recover_node"),
             (run, "migrate"),
+            (run, "rescale"),
             (stats, "record_ack"),
             (stats, "record_failed"),
         ]

@@ -201,6 +201,24 @@ class Component:
             return self._custom_demand.get("memory_mb", 0.0)
         return self._memory_load_mb
 
+    def clone(self, parallelism: Optional[int] = None) -> "Component":
+        """An independent copy, optionally at a different parallelism.
+
+        Used by :meth:`Topology.with_parallelism` so elastic rescaling
+        never mutates the components of the topology it scaled from.
+        Groupings are shared (they are stateless templates; the runtime
+        instantiates per-edge state via ``Grouping.fresh()``).
+        """
+        if parallelism is None:
+            parallelism = self.parallelism
+        dup = self.__class__(self.name, parallelism, self.profile)
+        dup._memory_load_mb = self._memory_load_mb
+        dup._cpu_load = self._cpu_load
+        dup._bandwidth_load_mbps = self._bandwidth_load_mbps
+        dup._custom_demand = self._custom_demand
+        dup.subscriptions = list(self.subscriptions)
+        return dup
+
     @property
     def is_spout(self) -> bool:
         return self.kind == "spout"

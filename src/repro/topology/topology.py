@@ -35,13 +35,14 @@ class Topology:
         self,
         topology_id: str,
         components: Mapping[str, Component],
+        task_ids: Optional[Mapping[Tuple[str, int], int]] = None,
     ):
         if not topology_id:
             raise TopologyValidationError("topology id must be non-empty")
         self.topology_id = topology_id
         self._components: Dict[str, Component] = dict(components)
         self._validate()
-        self._tasks: Tuple[Task, ...] = self._expand_tasks()
+        self._tasks: Tuple[Task, ...] = self._expand_tasks(task_ids)
         self._tasks_by_component: Dict[str, Tuple[Task, ...]] = {}
         for task in self._tasks:
             self._tasks_by_component.setdefault(task.component, ())
@@ -111,22 +112,81 @@ class Topology:
 
     # -- task expansion ------------------------------------------------------
 
-    def _expand_tasks(self) -> Tuple[Task, ...]:
+    def _expand_tasks(
+        self, task_ids: Optional[Mapping[Tuple[str, int], int]] = None
+    ) -> Tuple[Task, ...]:
         tasks: List[Task] = []
         next_id = 1  # Storm task ids start at 1
+        seen_ids: Dict[int, Tuple[str, int]] = {}
         for name in sorted(self._components):
             comp = self._components[name]
             for instance in range(comp.parallelism):
+                if task_ids is None:
+                    task_id = next_id
+                    next_id += 1
+                else:
+                    try:
+                        task_id = task_ids[(name, instance)]
+                    except KeyError:
+                        raise TopologyValidationError(
+                            f"task_ids missing entry for "
+                            f"({name!r}, {instance})"
+                        ) from None
+                    if task_id in seen_ids:
+                        raise TopologyValidationError(
+                            f"task id {task_id} assigned to both "
+                            f"{seen_ids[task_id]} and ({name!r}, {instance})"
+                        )
+                    seen_ids[task_id] = (name, instance)
                 tasks.append(
                     Task(
                         topology_id=self.topology_id,
                         component=name,
                         instance=instance,
-                        task_id=next_id,
+                        task_id=task_id,
                     )
                 )
-                next_id += 1
         return tuple(tasks)
+
+    def with_parallelism(
+        self, component_name: str, parallelism: int
+    ) -> "Topology":
+        """A rescaled copy with ``component_name`` at ``parallelism``.
+
+        The elastic controller's task-identity contract: tasks that
+        survive the rescale — every ``(component, instance)`` pair present
+        in both topologies — keep their task ids, so live assignments,
+        node reservation labels, and in-flight tuple trees remain valid.
+        Added instances get fresh ids past the current maximum (Storm
+        never reuses task ids within a topology generation either).
+
+        Components are cloned, never mutated: the original topology is
+        untouched, so cached schedules keyed on it stay correct.
+        """
+        current = self.component(component_name)
+        if parallelism < 1:
+            raise TopologyValidationError(
+                f"component {component_name!r}: parallelism must be >= 1, "
+                f"got {parallelism}"
+            )
+        if parallelism == current.parallelism:
+            return self
+        new_components = {
+            name: comp.clone(
+                parallelism if name == component_name else None
+            )
+            for name, comp in self._components.items()
+        }
+        task_ids = {
+            (t.component, t.instance): t.task_id
+            for t in self._tasks
+            if t.component != component_name or t.instance < parallelism
+        }
+        next_id = max(t.task_id for t in self._tasks) + 1
+        for instance in range(current.parallelism, parallelism):
+            task_ids[(component_name, instance)] = next_id
+            next_id += 1
+        return Topology(self.topology_id, new_components, task_ids=task_ids)
 
     def _build_downstream(self) -> Dict[str, Tuple[str, ...]]:
         downstream: Dict[str, List[str]] = {name: [] for name in self._components}

@@ -14,6 +14,12 @@ import pytest
 
 from repro.cluster import Cluster, Node, Rack
 from repro.cluster.builders import emulab_testbed, uniform_cluster
+from repro.nimbus.config import StormConfig
+from repro.nimbus.elastic import ElasticController
+from repro.nimbus.nimbus import Nimbus
+from repro.simulation.config import SimulationConfig
+from repro.simulation.runtime import SimulationRun
+from repro.traffic.arrivals import PoissonArrivals
 from repro.cluster.resources import (
     ConstraintKind,
     ResourceDimension,
@@ -334,6 +340,97 @@ class TestBaselineSchedulersDifferential:
             ReferenceDefaultScheduler(workers_per_topology=3),
         )
         assert as_map(got) == as_map(want)
+
+
+class TestElasticDisabledDifferential:
+    """A StormConfig that merely *carries* ``nimbus.elastic.*`` keys
+    (with ``enabled`` false) must not perturb any scheduler: assignments
+    stay byte-identical to the frozen oracles even with an
+    :class:`ElasticController` attached to a live overloaded run."""
+
+    #: Non-default elastic knobs everywhere — only ``enabled`` matters.
+    ELASTIC_DISABLED = {
+        "nimbus.elastic.enabled": False,
+        "nimbus.elastic.interval.secs": 5.0,
+        "nimbus.elastic.target.utilisation": 0.6,
+        "nimbus.elastic.hysteresis": 0.1,
+        "nimbus.elastic.max.parallelism": 32,
+        "nimbus.elastic.scale.down.patience": 1,
+    }
+
+    SCHEDULER_PAIRS = (
+        (RStormScheduler, ReferenceRStormScheduler),
+        (DefaultScheduler, ReferenceDefaultScheduler),
+        (AnielloOfflineScheduler, ReferenceAnielloScheduler),
+    )
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_schedule_through_nimbus_identical(self, seed):
+        """Scheduling via a Nimbus whose config carries disabled elastic
+        keys matches the reference oracle for every scheduler."""
+        topologies = [
+            random_topology(seed * 10 + i, name=f"e{seed}-{i}")
+            for i in range(2)
+        ]
+
+        def roomy():
+            return small_cluster(
+                racks=3, nodes_per_rack=4, memory=8192.0, cpu=400.0
+            )
+
+        for opt_cls, ref_cls in self.SCHEDULER_PAIRS:
+            nimbus = Nimbus(
+                roomy(),
+                scheduler=opt_cls(),
+                config=StormConfig(dict(self.ELASTIC_DISABLED)),
+            )
+            for topology in topologies:
+                nimbus.submit_topology(topology)
+            nimbus.schedule_round()
+            want = ref_cls().schedule(topologies, roomy())
+            assert as_map(dict(nimbus.assignments)) == as_map(want)
+
+    @pytest.mark.parametrize(
+        "opt_cls,ref_cls", SCHEDULER_PAIRS,
+        ids=["r-storm", "default", "aniello"],
+    )
+    def test_disabled_controller_never_acts(self, opt_cls, ref_cls):
+        """Attach the controller to a run overloaded enough that, if
+        enabled, it *would* scale (1.5x offered): with ``enabled`` false
+        it commits nothing and the assignments that come out of the run
+        still match the oracle exactly."""
+        topologies = [micro_topology("linear", "compute")]
+        nimbus = Nimbus(
+            emulab_testbed(),
+            scheduler=opt_cls(),
+            config=StormConfig(dict(self.ELASTIC_DISABLED)),
+        )
+        for topology in topologies:
+            nimbus.submit_topology(topology)
+        nimbus.schedule_round()
+        before = as_map(dict(nimbus.assignments))
+
+        run = SimulationRun(
+            nimbus.cluster,
+            [
+                (t, nimbus.assignments[t.topology_id])
+                for t in topologies
+            ],
+            SimulationConfig(
+                duration_s=25.0,
+                warmup_s=5.0,
+                arrival_process=PoissonArrivals(rate_tps=375.0),
+            ),
+        )
+        controller = ElasticController(nimbus)
+        controller.attach(run)
+        run.run()
+
+        assert controller.decisions == []
+        assert controller.tasks_moved == 0
+        assert as_map(dict(nimbus.assignments)) == before
+        want = ref_cls().schedule(topologies, emulab_testbed())
+        assert as_map(dict(nimbus.assignments)) == as_map(want)
 
 
 class TestPropertyDifferential:

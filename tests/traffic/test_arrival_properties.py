@@ -75,8 +75,12 @@ class TestMMPPOccupancy:
             dwell[state] += end - start
         total = sum(dwell)
         analytic = process.occupancy()
+        # ~850 effective alternation cycles at the self-loop-heavy end
+        # of the transition range put the estimator's sigma near 1.2%;
+        # 7.5% keeps this >6 sigma (0.05 was ~4 sigma and hypothesis
+        # eventually found a seed past it).
         for observed, expected in zip(dwell, analytic):
-            assert abs(observed / total - expected) < 0.05
+            assert abs(observed / total - expected) < 0.075
 
 
 class TestDiurnalVolume:
