@@ -13,7 +13,8 @@ event counts must match exactly (the benchmarks are deterministic);
 median wall time may regress up to ``--tolerance`` x baseline.  Exit
 status 1 on any failure, with one line per deviation.
 
-Whenever a run includes scheduler probes (``sched-*``), a compact
+Whenever a run includes scheduler probes (``sched-*`` or
+``tenant-admission``), a compact
 ``BENCH_sched.json`` summary is also written at the repo root (override
 with ``--summary``, disable with ``--summary ''``) so the scheduler perf
 trajectory is tracked across PRs next to the per-probe result files.
@@ -44,6 +45,9 @@ DEFAULT_SCHED_SUMMARY = "BENCH_sched.json"
 
 #: Prefix that marks a benchmark as a scheduler probe for the summary.
 SCHED_PREFIX = "sched-"
+#: Probes without the prefix that still belong in the scheduler
+#: summary (the admission plane feeds the schedulers directly).
+SCHED_SUMMARY_EXTRAS = ("tenant-admission",)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -117,7 +121,11 @@ def write_sched_summary(
     against the loaded baseline (``null`` when no baseline exists), so a
     single root-level file records the scheduler perf trajectory.
     """
-    sched = [r for r in results if r.name.startswith(SCHED_PREFIX)]
+    sched = [
+        r
+        for r in results
+        if r.name.startswith(SCHED_PREFIX) or r.name in SCHED_SUMMARY_EXTRAS
+    ]
     if not sched or not path:
         return None
     probes = {}

@@ -1,6 +1,6 @@
 """The benchmark registry: what ``repro bench`` measures.
 
-Eleven probes, ordered cheapest first:
+Twelve probes, ordered cheapest first:
 
 * ``engine-churn`` — raw DES event loop: payload-carrying events that
   perpetually reschedule themselves through the heap.
@@ -30,6 +30,10 @@ Eleven probes, ordered cheapest first:
   1.5x overload: per-period queue sampling, M/M/k sizing, live
   scale-up rescales and hot-executor rebalances on an R-Storm-packed
   linear topology.
+* ``tenant-admission`` — the multi-tenant admission plane at scale:
+  dozens of queued topologies from four tenant classes on the 512-node
+  cluster, weighted-DRF rounds with credit accrual and priority
+  preemption feeding R-Storm placement.
 
 Every probe's event count is a deterministic function of the constants
 below; changing them invalidates the committed baselines (see
@@ -100,6 +104,16 @@ ELASTIC_ADAPT_MULTIPLIER = 1.5
 SCHED_SCALE_RACKS = 8
 SCHED_SCALE_NODES_PER_RACK = 64
 SCHED_SCALE_ROUNDS = 2
+
+#: The multi-tenant admission probe: 60 parallelism-8 compute chains
+#: (one full 800-cpu-point node each) queued by four tenant classes on
+#: the 512-node cluster, with admission headroom capping usable slack
+#: at 8% — so roughly a third of the queue must be deferred and the
+#: credit/preemption machinery runs on every round.
+TENANT_ADMISSION_TOPOLOGIES = 60
+TENANT_ADMISSION_PARALLELISM = 8
+TENANT_ADMISSION_ROUNDS = 6
+TENANT_ADMISSION_HEADROOM = 0.08
 
 
 def _engine_supports_args() -> bool:
@@ -448,6 +462,65 @@ def _prepare_elastic_adapt() -> Callable[[], int]:
     return workload
 
 
+def _prepare_tenant_admission() -> Callable[[], int]:
+    from repro.nimbus.config import StormConfig
+    from repro.nimbus.nimbus import Nimbus
+    from repro.nimbus.tenancy import TenancyController, Tenant
+    from repro.scheduler.rstorm import RStormScheduler
+    from repro.workloads.micro import linear_topology
+
+    tenant_classes = (
+        Tenant("gold", weight=3.0, priority=2),
+        Tenant("silver", weight=2.0, priority=1),
+        Tenant("bronze", weight=1.0, priority=0),
+        Tenant("free", weight=0.5, priority=0),
+    )
+    per_tenant = TENANT_ADMISSION_TOPOLOGIES // len(tenant_classes)
+    # bronze/free flood round 0, silver arrives round 1, gold round 2 —
+    # into a full cluster, so priority preemption fires every round.
+    arrival_round = {"bronze": 0, "free": 0, "silver": 1, "gold": 2}
+    submissions = [
+        (
+            arrival_round[tenant.tenant_id],
+            tenant.tenant_id,
+            linear_topology(
+                "compute",
+                parallelism=TENANT_ADMISSION_PARALLELISM,
+                name=f"{tenant.tenant_id}-{index}",
+            ),
+        )
+        for tenant in tenant_classes
+        for index in range(per_tenant)
+    ]
+
+    def workload() -> int:
+        nimbus = Nimbus(
+            _sched_scale_cluster(),
+            scheduler=RStormScheduler(),
+            config=StormConfig(
+                {
+                    "nimbus.tenancy.enabled": True,
+                    "nimbus.tenancy.headroom": TENANT_ADMISSION_HEADROOM,
+                }
+            ),
+        )
+        controller = TenancyController(nimbus)
+        for tenant in tenant_classes:
+            controller.register_tenant(tenant)
+        for round_index in range(TENANT_ADMISSION_ROUNDS):
+            for due, tenant_id, topology in submissions:
+                if due == round_index:
+                    controller.submit(topology, tenant_id)
+            nimbus.schedule_round(now=round_index * 10.0)
+        placed_tasks = sum(
+            len(assignment.tasks)
+            for assignment in nimbus.assignments.values()
+        )
+        return len(controller.decisions) + placed_tasks
+
+    return workload
+
+
 REGISTRY: Dict[str, Benchmark] = {
     bench.name: bench
     for bench in (
@@ -554,6 +627,17 @@ REGISTRY: Dict[str, Benchmark] = {
                 f"{ELASTIC_ADAPT_DURATION_S:g} simulated s"
             ),
             prepare=_prepare_elastic_adapt,
+            repeats=3,
+        ),
+        Benchmark(
+            name="tenant-admission",
+            description=(
+                f"{TENANT_ADMISSION_ROUNDS} weighted-DRF admission + "
+                f"R-Storm placement rounds of "
+                f"{TENANT_ADMISSION_TOPOLOGIES} queued topologies from "
+                "four tenant classes on the 512-node cluster"
+            ),
+            prepare=_prepare_tenant_admission,
             repeats=3,
         ),
     )

@@ -6,14 +6,15 @@ from repro.experiments import (
     ablations,
     elastic,
     fault_recovery,
-    fig8_network_bound,
-    fig9_compute_bound,
     fig10_cpu_utilization,
     fig12_yahoo,
     fig13_multi_topology,
+    fig8_network_bound,
+    fig9_compute_bound,
     overload,
     scalability,
     scheduling_overhead,
+    tenants,
     weight_sweep,
 )
 from repro.experiments.cache import ResultCache, cache_key, stable_token
@@ -33,6 +34,8 @@ from repro.experiments.parallel import (
     ScheduleOutcome,
     ScheduleUnit,
     SimulationUnit,
+    TenantOutcome,
+    TenantUnit,
     run_units,
     spec,
 )
@@ -51,6 +54,7 @@ REGISTRY: Dict[str, Callable[..., ExperimentResult]] = {
     "chaos": fault_recovery.run,
     "traffic": overload.run,
     "elastic": elastic.run,
+    "tenants": tenants.run,
 }
 
 __all__ = [
@@ -67,6 +71,8 @@ __all__ = [
     "ScheduleUnit",
     "SimulationUnit",
     "SingleRunOutcome",
+    "TenantOutcome",
+    "TenantUnit",
     "cache_key",
     "format_table",
     "run_scheduled",

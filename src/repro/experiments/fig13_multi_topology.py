@@ -16,7 +16,7 @@ killing Processing — are the reproduction target.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Optional
 
 from repro.cluster.builders import emulab_testbed
 from repro.experiments.harness import ExperimentResult

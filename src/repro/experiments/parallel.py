@@ -43,7 +43,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.flow import FlowModel
-from repro.errors import ConfigError
+from repro.errors import ConfigError, SchedulingError
 from repro.experiments.cache import ResultCache, cache_key
 from repro.experiments.harness import SingleRunOutcome, run_scheduled
 from repro.faults.chaos import ChaosGenerator
@@ -55,7 +55,13 @@ from repro.nimbus.elastic import ElasticController, ElasticDecision
 from repro.nimbus.failure_detector import HeartbeatFailureDetector
 from repro.nimbus.nimbus import Nimbus
 from repro.nimbus.supervisor import Supervisor
+from repro.nimbus.tenancy import (
+    AdmissionRoundRecord,
+    TenancyController,
+    Tenant,
+)
 from repro.nimbus.zookeeper import InMemoryZooKeeper
+from repro.scheduler.admission import AdmissionDecision
 from repro.scheduler.assignment import Assignment
 from repro.scheduler.quality import ScheduleQuality, evaluate_assignment
 from repro.simulation.config import SimulationConfig
@@ -72,6 +78,8 @@ __all__ = [
     "ChaosOutcome",
     "ElasticUnit",
     "ElasticOutcome",
+    "TenantUnit",
+    "TenantOutcome",
     "run_units",
     "ExperimentContext",
 ]
@@ -484,6 +492,141 @@ class ElasticUnit:
             tasks_moved=controller.tasks_moved,
             actions_failed=tuple(controller.actions_failed),
             final_parallelism=final_parallelism,
+        )
+
+
+@dataclass(frozen=True)
+class TenantOutcome:
+    """Everything measured for one multi-tenant contention run."""
+
+    scheduler: str
+    report: SimulationReport
+    #: final assignments of the admitted topologies
+    assignments: Dict[str, Assignment]
+    #: every admit/defer/evict verdict, in decision order
+    decisions: Tuple[AdmissionDecision, ...]
+    #: per-admission-round fairness records (shares, Jain index)
+    round_records: Tuple[AdmissionRoundRecord, ...]
+    #: topology ids admitted and simulated, in submission order
+    admitted: Tuple[str, ...]
+    #: topology ids still queued when the admission phase ended
+    deferred: Tuple[str, ...]
+    #: topologies evicted by priority preemption (churn)
+    preemptions: int
+    #: tasks those evictions displaced
+    preempted_tasks: int
+    #: outstanding credit balance per tenant
+    credits: Dict[str, float]
+    #: final weighted dominant share per tenant
+    shares: Dict[str, float]
+    #: Jain fairness index over the final dominant shares
+    jain: float
+    #: topology id -> owning tenant id, for per-tenant rollups
+    owners: Dict[str, str]
+    #: ``(simulated time, error)`` of every infeasible scheduling round
+    scheduling_failures: Tuple[Tuple[float, str], ...]
+
+
+@dataclass(frozen=True)
+class TenantUnit:
+    """One multi-tenant contention run: a staged submission schedule is
+    pushed through weighted-DRF admission (credits, preemption) over
+    ``rounds`` Nimbus scheduling rounds, then the admitted set runs in
+    the DES under the unit's (typically open-loop) config.
+
+    ``submissions`` is a tuple of ``(round, tenant_id, topology_spec)``:
+    the topology is submitted through the tenancy controller just
+    before admission round ``round`` (0-based), so staggered arrivals
+    exercise credit accrual and preemption deterministically.  ``storm``
+    carries flat ``nimbus.tenancy.*`` overrides the same way
+    :class:`ElasticUnit` carries ``nimbus.elastic.*`` ones.
+    """
+
+    scheduler: FactorySpec
+    tenants: Tuple[Tenant, ...]
+    submissions: Tuple[Tuple[int, str, FactorySpec], ...]
+    cluster: FactorySpec
+    config: SimulationConfig
+    #: flat StormConfig overrides, e.g. (("nimbus.tenancy.enabled", True),)
+    storm: Tuple[Tuple[str, Any], ...] = ()
+    rounds: int = 8
+    scheduling_interval_s: float = 10.0
+    interrack_uplink_mbps: Optional[float] = None
+    trial: int = 0
+    label: str = field(default="", compare=False)
+
+    def cache_token(self) -> Any:
+        return (
+            "tenants",
+            self.scheduler,
+            self.tenants,
+            self.submissions,
+            self.cluster,
+            self.config,
+            self.storm,
+            self.rounds,
+            self.scheduling_interval_s,
+            self.interrack_uplink_mbps,
+            self.trial,
+        )
+
+    def execute(self) -> TenantOutcome:
+        random.seed(_seed_for(self))
+        scheduler = self.scheduler.build()
+        cluster = self.cluster.build()
+        storm_config = StormConfig(dict(self.storm)) if self.storm else None
+        nimbus = Nimbus(cluster, scheduler=scheduler, config=storm_config)
+        controller = TenancyController(nimbus)
+        for tenant in self.tenants:
+            controller.register_tenant(tenant)
+        by_round: Dict[int, List[Tuple[str, FactorySpec]]] = {}
+        for round_index, tenant_id, topology_spec in self.submissions:
+            by_round.setdefault(round_index, []).append(
+                (tenant_id, topology_spec)
+            )
+        for round_index in range(self.rounds):
+            for tenant_id, topology_spec in by_round.get(round_index, ()):
+                controller.submit(topology_spec.build(), tenant_id)
+            try:
+                nimbus.schedule_round(round_index * self.scheduling_interval_s)
+            except SchedulingError as err:
+                # Aggregate slack fit but per-node packing failed —
+                # degraded-mode record, same contract as the chaos path.
+                nimbus.scheduling_failures.append(
+                    (round_index * self.scheduling_interval_s, str(err))
+                )
+        placed = [
+            topology
+            for topology in nimbus.topologies
+            if topology.topology_id in nimbus.assignments
+        ]
+        run = SimulationRun(
+            cluster,
+            [(t, nimbus.assignments[t.topology_id]) for t in placed],
+            self.config,
+            interrack_uplink_mbps=self.interrack_uplink_mbps,
+        )
+        report = run.run()
+        latest = (
+            controller.round_records[-1]
+            if controller.round_records
+            else None
+        )
+        return TenantOutcome(
+            scheduler=scheduler.name,
+            report=report,
+            assignments=dict(nimbus.assignments),
+            decisions=tuple(controller.decisions),
+            round_records=tuple(controller.round_records),
+            admitted=tuple(t.topology_id for t in placed),
+            deferred=tuple(controller.pending_ids),
+            preemptions=controller.preemptions,
+            preempted_tasks=controller.preempted_tasks,
+            credits=dict(controller.credits),
+            shares=dict(latest.shares) if latest else {},
+            jain=latest.jain if latest else 1.0,
+            owners=controller.owners(),
+            scheduling_failures=tuple(nimbus.scheduling_failures),
         )
 
 

@@ -9,6 +9,7 @@ from repro.nimbus.elastic import (
 from repro.nimbus.failure_detector import HeartbeatFailureDetector
 from repro.nimbus.nimbus import Nimbus
 from repro.nimbus.supervisor import SUPERVISORS_PATH, Supervisor
+from repro.nimbus.tenancy import SLO, TenancyController, Tenant
 from repro.nimbus.zookeeper import InMemoryZooKeeper, ZNode
 
 __all__ = [
@@ -17,9 +18,12 @@ __all__ = [
     "HeartbeatFailureDetector",
     "InMemoryZooKeeper",
     "Nimbus",
+    "SLO",
     "SUPERVISORS_PATH",
     "StormConfig",
     "Supervisor",
+    "Tenant",
+    "TenancyController",
     "ZNode",
     "parse_storm_yaml",
     "required_parallelism",

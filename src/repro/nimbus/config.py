@@ -41,6 +41,12 @@ DEFAULTS: Dict[str, Any] = {
     "nimbus.elastic.scale.down.patience": 3,
     "nimbus.elastic.rebalance.enabled": True,
     "nimbus.elastic.rebalance.threshold": 0.85,
+    "nimbus.tenancy.enabled": False,
+    "nimbus.tenancy.headroom": 1.0,
+    "nimbus.tenancy.credit.accrual": 1.0,
+    "nimbus.tenancy.credit.bias": 0.05,
+    "nimbus.tenancy.preemption.enabled": True,
+    "nimbus.tenancy.max.preemptions": 2,
     "topology.workers": None,
     "topology.max.spout.pending": 10,
     "topology.message.timeout.secs": 30.0,
@@ -292,6 +298,56 @@ class StormConfig:
             raise ConfigError(
                 "nimbus.elastic.rebalance.threshold must be in (0, 1], "
                 f"got {value!r}"
+            )
+        return value
+
+    @property
+    def tenancy_enabled(self) -> bool:
+        value = self["nimbus.tenancy.enabled"]
+        if not isinstance(value, bool):
+            raise ConfigError("nimbus.tenancy.enabled must be a bool")
+        return value
+
+    @property
+    def tenancy_headroom(self) -> float:
+        value = self._positive_number("nimbus.tenancy.headroom")
+        if value > 1.0:
+            raise ConfigError(
+                f"nimbus.tenancy.headroom must be in (0, 1], got {value!r}"
+            )
+        return value
+
+    def _non_negative_number(self, key: str) -> float:
+        value = self[key]
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            raise ConfigError(f"{key} must be a number, got {value!r}")
+        if value < 0:
+            raise ConfigError(f"{key} must be >= 0, got {value!r}")
+        return float(value)
+
+    @property
+    def tenancy_credit_accrual(self) -> float:
+        return self._non_negative_number("nimbus.tenancy.credit.accrual")
+
+    @property
+    def tenancy_credit_bias(self) -> float:
+        return self._non_negative_number("nimbus.tenancy.credit.bias")
+
+    @property
+    def tenancy_preemption_enabled(self) -> bool:
+        value = self["nimbus.tenancy.preemption.enabled"]
+        if not isinstance(value, bool):
+            raise ConfigError(
+                "nimbus.tenancy.preemption.enabled must be a bool"
+            )
+        return value
+
+    @property
+    def tenancy_max_preemptions(self) -> int:
+        value = self["nimbus.tenancy.max.preemptions"]
+        if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+            raise ConfigError(
+                "nimbus.tenancy.max.preemptions must be an int >= 0"
             )
         return value
 

@@ -67,6 +67,10 @@ class Nimbus:
         self._last_alive: Dict[str, bool] = {}
         #: (time, node id) of every quarantine decision, for reporting
         self.quarantine_events: List[Tuple[float, str]] = []
+        #: bound by :class:`~repro.nimbus.tenancy.TenancyController`;
+        #: consulted per round only when ``nimbus.tenancy.enabled`` is
+        #: set, so the default path never changes.
+        self.tenancy = None
 
     # -- topology lifecycle ---------------------------------------------------
 
@@ -227,6 +231,11 @@ class Nimbus:
             self._update_quarantine(now)
         masked = self._mask_quarantined()
         try:
+            if self.tenancy is not None and self.config.tenancy_enabled:
+                # Admission runs with quarantined nodes masked, so the
+                # weighted-DRF capacity matches what the schedulers
+                # will actually see this round.
+                self.tenancy.admission_round(now)
             existing = self._live_assignments()
             round_info = self.scheduler.run(
                 self.topologies, self.cluster, existing

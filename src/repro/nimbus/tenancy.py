@@ -1,0 +1,277 @@
+"""Multi-tenant admission control for Nimbus.
+
+Tenants own topologies, declare SLOs (p99 latency target, minimum
+effective throughput) and carry a fairness weight plus a preemption
+priority.  The :class:`TenancyController` front-ends topology
+submission: instead of calling :meth:`Nimbus.submit_topology` directly,
+callers submit through the controller, which queues the topology per
+tenant.  Each Nimbus scheduling round then runs one weighted-DRF
+admission step (:func:`repro.scheduler.admission.plan_admission`)
+*before* the per-topology schedulers see the cluster — the schedulers
+themselves stay unchanged and byte-identical; admission only decides
+*which* topologies they are asked to place.
+
+Preemption reuses the quarantine-style partial-reassignment path: a
+victim is removed through :meth:`Nimbus.kill_topology` (which releases
+its reservations), and because surviving assignments are passed to the
+scheduler as ``existing``, only the delta is re-placed — nothing else
+moves.
+
+The whole layer is opt-in via ``nimbus.tenancy.enabled`` (default
+false).  Disabled, :meth:`submit` is a strict pass-through to
+``Nimbus.submit_topology`` and :meth:`admission_round` is never invoked
+by the scheduling round, so the default path stays byte-identical
+(asserted by the differential tests and the CI non-perturbation grep).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import SchedulingError
+from repro.nimbus.config import StormConfig
+from repro.scheduler.admission import (
+    AdmissionDecision,
+    AdmissionPlan,
+    AdmissionRequest,
+    TenantSpec,
+    jain_index,
+    plan_admission,
+)
+from repro.topology.topology import Topology
+
+__all__ = ["SLO", "Tenant", "TenancyController", "AdmissionRoundRecord"]
+
+
+@dataclass(frozen=True)
+class SLO:
+    """A tenant's service-level objective.
+
+    ``p99_ms`` bounds end-to-end (arrival -> full ack) p99 latency;
+    ``min_ratio`` is the minimum achieved/offered throughput fraction
+    (effective throughput).  ``None`` leaves that clause unconstrained —
+    the batch-tier default.
+    """
+
+    p99_ms: Optional[float] = None
+    min_ratio: Optional[float] = None
+
+    def attained(
+        self, p99_ms: Optional[float], achieved_ratio: Optional[float]
+    ) -> bool:
+        """Whether measured latency/throughput meet both clauses.
+
+        A constrained clause with no measurement (``None``) counts as a
+        miss — an SLO cannot be attained by not reporting.
+        """
+        if self.p99_ms is not None:
+            if p99_ms is None or p99_ms > self.p99_ms:
+                return False
+        if self.min_ratio is not None:
+            if achieved_ratio is None or achieved_ratio < self.min_ratio:
+                return False
+        return True
+
+
+@dataclass(frozen=True)
+class Tenant:
+    """A tenant: identity, fairness weight, preemption priority, SLO."""
+
+    tenant_id: str
+    weight: float = 1.0
+    priority: int = 0
+    slo: SLO = field(default_factory=SLO)
+
+    def spec(self) -> TenantSpec:
+        return TenantSpec(
+            tenant_id=self.tenant_id,
+            weight=self.weight,
+            priority=self.priority,
+        )
+
+
+@dataclass(frozen=True)
+class AdmissionRoundRecord:
+    """One admission round's summary, for fairness reporting."""
+
+    now: float
+    #: weighted dominant share per tenant after the round
+    shares: Dict[str, float]
+    #: Jain fairness index over those shares
+    jain: float
+    admitted: Tuple[str, ...]
+    deferred: Tuple[str, ...]
+    evicted: Tuple[str, ...]
+
+
+class TenancyController:
+    """Per-cluster tenant registry + admission loop.
+
+    Binds itself to ``nimbus.tenancy``;
+    :meth:`Nimbus.schedule_round` calls :meth:`admission_round` once per
+    round — only when ``nimbus.tenancy.enabled`` is set.
+    """
+
+    def __init__(self, nimbus, config: Optional[StormConfig] = None):
+        self.nimbus = nimbus
+        self.config = config or nimbus.config
+        self.tenants: Dict[str, Tenant] = {}
+        #: tenant id -> FIFO of pending (not yet admitted) topologies
+        self._pending: Dict[str, List[Topology]] = {}
+        #: topology id -> owning tenant id (pending, running or evicted)
+        self._owner: Dict[str, str] = {}
+        #: outstanding credit balance per tenant
+        self.credits: Dict[str, float] = {}
+        #: every admit/defer/evict verdict, in decision order
+        self.decisions: List[AdmissionDecision] = []
+        #: per-round fairness records (rounds with pending work only)
+        self.round_records: List[AdmissionRoundRecord] = []
+        #: topologies evicted by priority preemption (churn counter)
+        self.preemptions = 0
+        #: tasks those evictions displaced
+        self.preempted_tasks = 0
+        nimbus.tenancy = self
+
+    # -- registry -------------------------------------------------------
+
+    @property
+    def enabled(self) -> bool:
+        return self.config.tenancy_enabled
+
+    def register_tenant(self, tenant: Tenant) -> None:
+        if tenant.tenant_id in self.tenants:
+            raise SchedulingError(
+                f"tenant {tenant.tenant_id!r} is already registered"
+            )
+        tenant.spec()  # validates the weight
+        self.tenants[tenant.tenant_id] = tenant
+        self._pending.setdefault(tenant.tenant_id, [])
+        self.credits.setdefault(tenant.tenant_id, 0.0)
+
+    def tenant_of(self, topology_id: str) -> Optional[str]:
+        return self._owner.get(topology_id)
+
+    def owners(self) -> Dict[str, str]:
+        """topology id -> tenant id for every submission seen."""
+        return dict(self._owner)
+
+    @property
+    def pending_ids(self) -> List[str]:
+        return [
+            topology.topology_id
+            for queue in self._pending.values()
+            for topology in queue
+        ]
+
+    # -- submission -----------------------------------------------------
+
+    def submit(self, topology: Topology, tenant_id: str) -> None:
+        """Submit ``topology`` on behalf of ``tenant_id``.
+
+        Disabled (``nimbus.tenancy.enabled: false``), this is a strict
+        pass-through to ``Nimbus.submit_topology`` — admission never
+        runs and behaviour is byte-identical to direct submission.
+        Enabled, the topology queues until an admission round grants it
+        cluster slack.
+        """
+        if tenant_id not in self.tenants:
+            raise SchedulingError(
+                f"unknown tenant {tenant_id!r}; register it first"
+            )
+        topology_id = topology.topology_id
+        if topology_id in self._owner:
+            raise SchedulingError(
+                f"topology {topology_id!r} is already submitted"
+            )
+        self._owner[topology_id] = tenant_id
+        if not self.enabled:
+            self.nimbus.submit_topology(topology)
+            return
+        self._pending[tenant_id].append(topology)
+
+    # -- admission ------------------------------------------------------
+
+    def _demand(self, topology: Topology) -> Dict[str, float]:
+        return topology.total_demand().as_dict()
+
+    def _capacity(self) -> Dict[str, float]:
+        totals: Dict[str, float] = {}
+        for node in self.nimbus.cluster.alive_nodes:
+            for dim, value in node.capacity.as_dict().items():
+                totals[dim] = totals.get(dim, 0.0) + value
+        return totals
+
+    def admission_round(self, now: float = 0.0) -> Optional[AdmissionPlan]:
+        """Run one weighted-DRF admission step against current slack.
+
+        Called by ``Nimbus.schedule_round`` (quarantined nodes already
+        masked, so capacity excludes them) before the per-topology
+        schedulers run.  No-op when disabled or nothing is pending.
+        """
+        if not self.enabled:
+            return None
+        if not any(self._pending.values()):
+            return None
+        running = [
+            AdmissionRequest(
+                topology_id=topology.topology_id,
+                tenant_id=self._owner[topology.topology_id],
+                demand=self._demand(topology),
+            )
+            for topology in self.nimbus.topologies
+            if topology.topology_id in self._owner
+        ]
+        pending = [
+            AdmissionRequest(
+                topology_id=topology.topology_id,
+                tenant_id=tenant_id,
+                demand=self._demand(topology),
+            )
+            for tenant_id, queue in self._pending.items()
+            for topology in queue
+        ]
+        plan = plan_admission(
+            pending,
+            running,
+            self._capacity(),
+            {tid: tenant.spec() for tid, tenant in self.tenants.items()},
+            self.credits,
+            headroom=self.config.tenancy_headroom,
+            credit_bias=self.config.tenancy_credit_bias,
+            credit_accrual=self.config.tenancy_credit_accrual,
+            preemption_enabled=self.config.tenancy_preemption_enabled,
+            max_preemptions=self.config.tenancy_max_preemptions,
+        )
+        # Evictions first: kill_topology releases the victim's
+        # reservations, so admitted topologies see the freed slack when
+        # the scheduler places them this same round.
+        for topology_id in plan.evicted:
+            victim = self.nimbus.topology(topology_id)
+            self.preempted_tasks += victim.num_tasks
+            self.nimbus.kill_topology(topology_id)
+            # Back to the *front* of the owner's queue: the victim
+            # competes again next round before its tenant's newer work.
+            self._pending[self._owner[topology_id]].insert(0, victim)
+            self.preemptions += 1
+        for topology_id in plan.admitted:
+            queue = self._pending[self._owner[topology_id]]
+            index = next(
+                i
+                for i, topology in enumerate(queue)
+                if topology.topology_id == topology_id
+            )
+            self.nimbus.submit_topology(queue.pop(index))
+        self.credits = dict(plan.credits)
+        self.decisions.extend(plan.decisions)
+        self.round_records.append(
+            AdmissionRoundRecord(
+                now=now,
+                shares=dict(plan.shares),
+                jain=jain_index(list(plan.shares.values())),
+                admitted=plan.admitted,
+                deferred=plan.deferred,
+                evicted=plan.evicted,
+            )
+        )
+        return plan

@@ -1,5 +1,13 @@
 """Schedulers: R-Storm (the paper's contribution) and baselines."""
 
+from repro.scheduler.admission import (
+    AdmissionDecision,
+    AdmissionPlan,
+    AdmissionRequest,
+    TenantSpec,
+    jain_index,
+    plan_admission,
+)
 from repro.scheduler.aniello import AnielloOfflineScheduler
 from repro.scheduler.assignment import Assignment
 from repro.scheduler.base import IScheduler, SchedulingRound
@@ -21,6 +29,9 @@ from repro.scheduler.rstorm import DistanceWeights, RStormScheduler
 from repro.scheduler.visualise import render_assignments, render_node_loads
 
 __all__ = [
+    "AdmissionDecision",
+    "AdmissionPlan",
+    "AdmissionRequest",
     "AnielloOfflineScheduler",
     "Assignment",
     "DefaultScheduler",
@@ -33,11 +44,14 @@ __all__ = [
     "ScheduleQuality",
     "SchedulingRound",
     "TaskOrderingStrategy",
+    "TenantSpec",
     "aggregate_node_load",
     "evaluate_assignment",
     "interleave_component_tasks",
     "interleaved_slots",
+    "jain_index",
     "ordered_tasks",
+    "plan_admission",
     "render_assignments",
     "render_node_loads",
 ]

@@ -277,6 +277,21 @@ class StatisticServer:
         batch has fully acked for this topology."""
         return self._e2e_digests.get(topology_id)
 
+    def merged_e2e_digest(
+        self, topology_ids: List[str]
+    ) -> Optional[TailDigest]:
+        """One digest over the end-to-end latencies of several
+        topologies (per-tenant tail rollups), or ``None`` when none of
+        them has acked an open-loop batch.  Sources are not mutated."""
+        digests = [
+            digest
+            for digest in (self._e2e_digests.get(t) for t in topology_ids)
+            if digest is not None
+        ]
+        if not digests:
+            return None
+        return TailDigest.merged(digests)
+
     def crash_total(self, topology_id: str) -> int:
         return sum(
             count

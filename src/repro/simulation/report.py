@@ -233,6 +233,50 @@ class SimulationReport:
         """End-to-end (arrival -> full ack) latency percentiles."""
         return TailLatency.from_digest(self.stats.e2e_digest(topology_id))
 
+    # -- multi-tenant rollups -----------------------------------------------------
+
+    def tenant_e2e_latency(self, topology_ids: Sequence[str]) -> TailLatency:
+        """Tail latency over several topologies' merged digests — a
+        tenant's p99 is over *all* its traffic, not the mean of
+        per-topology percentiles."""
+        return TailLatency.from_digest(
+            self.stats.merged_e2e_digest(list(topology_ids))
+        )
+
+    def tenant_summary(
+        self, tenant_of: Dict[str, str]
+    ) -> Dict[str, Dict[str, float]]:
+        """Per-tenant headline numbers from a topology->tenant mapping.
+
+        Only topologies present in this run contribute; tenants whose
+        every topology was deferred appear with zero counters so SLO
+        attainment can still be reported against them.
+        """
+        members: Dict[str, List[str]] = {}
+        for topology_id, tenant_id in tenant_of.items():
+            members.setdefault(tenant_id, [])
+            if topology_id in self.topology_ids:
+                members[tenant_id].append(topology_id)
+        out: Dict[str, Dict[str, float]] = {}
+        for tenant_id in sorted(members):
+            ids = sorted(members[tenant_id])
+            offered = sum(self.offered_per_window(t) for t in ids)
+            achieved = sum(
+                self.average_throughput_per_window(t) for t in ids
+            )
+            latency = self.tenant_e2e_latency(ids)
+            out[tenant_id] = {
+                "topologies": float(len(ids)),
+                "offered_tuples_per_window": round(offered, 1),
+                "achieved_tuples_per_window": round(achieved, 1),
+                "achieved_ratio": round(achieved / offered, 4)
+                if offered > 0
+                else 0.0,
+                "e2e_p50_ms": round(latency.p50 * 1e3, 3),
+                "e2e_p99_ms": round(latency.p99 * 1e3, 3),
+            }
+        return out
+
     # -- CPU utilisation -----------------------------------------------------------
 
     def cpu_utilisation(self, node_id: str) -> float:

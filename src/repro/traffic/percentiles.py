@@ -87,6 +87,44 @@ class TailDigest:
         for value in values:
             self.add(value)
 
+    @classmethod
+    def merged(
+        cls,
+        digests: Sequence["TailDigest"],
+        compression: float = _DEFAULT_COMPRESSION,
+        buffer_size: int = _DEFAULT_BUFFER,
+    ) -> "TailDigest":
+        """Deterministically merge several digests into a new one.
+
+        Source centroids are fed into one merge pass as weighted
+        samples, so the result depends only on the input digests (not
+        on call order side effects — sources are never mutated).  While
+        every source is still exact and the combined sample count fits
+        one buffer, the merged digest stays exact too; per-tenant
+        rollups over a handful of per-topology digests therefore match
+        the sample-level ground truth.
+        """
+        out = cls(compression=compression, buffer_size=buffer_size)
+        pairs: List[Tuple[float, float]] = []
+        for digest in digests:
+            if digest is None or digest._count == 0:
+                continue
+            pairs.extend(zip(digest._means, digest._weights))
+            pairs.extend((value, 1.0) for value in digest._buffer)
+            out._count += digest._count
+            out._sum += digest._sum
+            if digest._min < out._min:
+                out._min = digest._min
+            if digest._max > out._max:
+                out._max = digest._max
+        if not pairs:
+            return out
+        if len(pairs) < out.buffer_size and all(w == 1.0 for _, w in pairs):
+            out._buffer = [mean for mean, _ in pairs]
+            return out
+        out._merge_pairs(sorted(pairs))
+        return out
+
     # -- views -----------------------------------------------------------
 
     @property
@@ -151,6 +189,10 @@ class TailDigest:
             + [(v, 1.0) for v in self._buffer]
         )
         self._buffer.clear()
+        self._merge_pairs(pairs)
+
+    def _merge_pairs(self, pairs: List[Tuple[float, float]]) -> None:
+        """Rebuild the centroid list from sorted (mean, weight) pairs."""
         total = float(sum(w for _, w in pairs))
         means: List[float] = []
         weights: List[float] = []

@@ -24,6 +24,7 @@ EXPECTED_NAMES = {
     "fig9-e2e",
     "traffic-overload",
     "elastic-adapt",
+    "tenant-admission",
 }
 
 

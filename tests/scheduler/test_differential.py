@@ -17,6 +17,7 @@ from repro.cluster.builders import emulab_testbed, uniform_cluster
 from repro.nimbus.config import StormConfig
 from repro.nimbus.elastic import ElasticController
 from repro.nimbus.nimbus import Nimbus
+from repro.nimbus.tenancy import TenancyController, Tenant
 from repro.simulation.config import SimulationConfig
 from repro.simulation.runtime import SimulationRun
 from repro.traffic.arrivals import PoissonArrivals
@@ -494,3 +495,97 @@ class TestPropertyDifferential:
         ):
             got, want = run_both(make_cluster, topologies, opt, ref)
             assert as_map(got) == as_map(want)
+
+
+class TestTenancyDisabledDifferential:
+    """A StormConfig that merely *carries* ``nimbus.tenancy.*`` keys
+    (with ``enabled`` false) must not perturb any scheduler: assignments
+    stay byte-identical to the frozen oracles even when every topology
+    is submitted through an attached :class:`TenancyController`."""
+
+    #: Non-default tenancy knobs everywhere — only ``enabled`` matters.
+    TENANCY_DISABLED = {
+        "nimbus.tenancy.enabled": False,
+        "nimbus.tenancy.headroom": 0.8,
+        "nimbus.tenancy.credit.accrual": 2.5,
+        "nimbus.tenancy.credit.bias": 0.2,
+        "nimbus.tenancy.preemption.enabled": False,
+        "nimbus.tenancy.max.preemptions": 7,
+    }
+
+    SCHEDULER_PAIRS = (
+        (RStormScheduler, ReferenceRStormScheduler),
+        (DefaultScheduler, ReferenceDefaultScheduler),
+        (AnielloOfflineScheduler, ReferenceAnielloScheduler),
+    )
+
+    TENANTS = (
+        Tenant("acme", weight=3.0, priority=2),
+        Tenant("burst", weight=0.5, priority=0),
+    )
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_submit_through_controller_identical(self, seed):
+        """Submitting via a disabled controller is a strict pass-through:
+        assignments match the reference oracle for every scheduler."""
+        topologies = [
+            random_topology(seed * 10 + i, name=f"t{seed}-{i}")
+            for i in range(2)
+        ]
+
+        def roomy():
+            return small_cluster(
+                racks=3, nodes_per_rack=4, memory=8192.0, cpu=400.0
+            )
+
+        for opt_cls, ref_cls in self.SCHEDULER_PAIRS:
+            nimbus = Nimbus(
+                roomy(),
+                scheduler=opt_cls(),
+                config=StormConfig(dict(self.TENANCY_DISABLED)),
+            )
+            controller = TenancyController(nimbus)
+            for tenant in self.TENANTS:
+                controller.register_tenant(tenant)
+            for index, topology in enumerate(topologies):
+                controller.submit(
+                    topology, self.TENANTS[index % 2].tenant_id
+                )
+            nimbus.schedule_round()
+            want = ref_cls().schedule(topologies, roomy())
+            assert as_map(dict(nimbus.assignments)) == as_map(want)
+
+    @pytest.mark.parametrize(
+        "opt_cls,ref_cls",
+        SCHEDULER_PAIRS,
+        ids=["r-storm", "default", "aniello"],
+    )
+    def test_disabled_controller_commits_nothing(self, opt_cls, ref_cls):
+        """With ``enabled`` false the controller queues nothing, records
+        nothing and never preempts — even across repeated scheduling
+        rounds on a contended cluster."""
+        topologies = [
+            micro_topology("linear", "compute"),
+            micro_topology("diamond", "compute"),
+        ]
+        nimbus = Nimbus(
+            emulab_testbed(),
+            scheduler=opt_cls(),
+            config=StormConfig(dict(self.TENANCY_DISABLED)),
+        )
+        controller = TenancyController(nimbus)
+        for tenant in self.TENANTS:
+            controller.register_tenant(tenant)
+        for index, topology in enumerate(topologies):
+            controller.submit(topology, self.TENANTS[index % 2].tenant_id)
+        for round_index in range(3):
+            nimbus.schedule_round(now=float(round_index) * 10.0)
+
+        assert controller.pending_ids == []
+        assert controller.round_records == []
+        assert controller.decisions == []
+        assert controller.preemptions == 0
+        assert controller.preempted_tasks == 0
+        assert controller.credits == {"acme": 0.0, "burst": 0.0}
+        want = ref_cls().schedule(topologies, emulab_testbed())
+        assert as_map(dict(nimbus.assignments)) == as_map(want)

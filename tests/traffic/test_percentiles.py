@@ -123,3 +123,104 @@ class TestValidationAndEdges:
             TailDigest(compression=5)
         with pytest.raises(ValueError):
             TailDigest(buffer_size=2)
+
+
+class TestMerged:
+    def test_exact_merge_matches_pooled_samples(self):
+        """Merging small exact digests stays exact: quantiles equal
+        numpy over the pooled samples."""
+        rng = random.Random(7)
+        groups = [
+            [rng.lognormvariate(0.0, 1.5) for _ in range(200)]
+            for _ in range(4)
+        ]
+        digests = []
+        for samples in groups:
+            digest = TailDigest()
+            digest.extend(samples)
+            digests.append(digest)
+        merged = TailDigest.merged(digests)
+        pooled = [v for samples in groups for v in samples]
+        assert not merged.compressed
+        assert merged.count == len(pooled)
+        for q in QS:
+            assert merged.quantile(q) == pytest.approx(
+                float(np.quantile(pooled, q)), rel=1e-12, abs=1e-12
+            )
+
+    def test_merge_preserves_moments_and_extremes(self):
+        rng = random.Random(11)
+        groups = [
+            [rng.expovariate(0.2) for _ in range(5000)] for _ in range(3)
+        ]
+        digests = []
+        for samples in groups:
+            digest = TailDigest()
+            digest.extend(samples)
+            digests.append(digest)
+        merged = TailDigest.merged(digests)
+        pooled = [v for samples in groups for v in samples]
+        assert merged.count == len(pooled)
+        assert merged.mean() == pytest.approx(
+            sum(pooled) / len(pooled), rel=1e-9
+        )
+        assert merged.quantile(0.0) == min(pooled)
+        assert merged.quantile(1.0) == max(pooled)
+
+    def test_merged_rank_error_bounded(self):
+        rng = random.Random(13)
+        groups = [
+            [rng.lognormvariate(0.0, 2.0) for _ in range(8000)]
+            for _ in range(4)
+        ]
+        digests = []
+        for samples in groups:
+            digest = TailDigest()
+            digest.extend(samples)
+            digests.append(digest)
+        merged = TailDigest.merged(digests)
+        pooled = [v for samples in groups for v in samples]
+        for q in (0.5, 0.9, 0.99, 0.999):
+            assert rank_error(pooled, merged.quantile(q), q) < 0.01
+
+    def test_merge_does_not_mutate_sources(self):
+        digest_a = TailDigest()
+        digest_a.extend(range(100))
+        digest_b = TailDigest()
+        digest_b.extend(range(100, 200))
+        before = (
+            digest_a.count,
+            digest_a.quantile(0.5),
+            digest_b.count,
+            digest_b.quantile(0.5),
+        )
+        TailDigest.merged([digest_a, digest_b])
+        after = (
+            digest_a.count,
+            digest_a.quantile(0.5),
+            digest_b.count,
+            digest_b.quantile(0.5),
+        )
+        assert before == after
+
+    def test_merge_skips_empty_and_none(self):
+        digest = TailDigest()
+        digest.extend([1.0, 2.0, 3.0])
+        merged = TailDigest.merged([TailDigest(), digest, None])
+        assert merged.count == 3
+        assert merged.quantile(0.5) == 2.0
+
+    def test_merge_of_nothing_is_empty(self):
+        merged = TailDigest.merged([])
+        assert merged.count == 0
+
+    def test_merge_is_deterministic(self):
+        rng = random.Random(17)
+        samples = [rng.random() for _ in range(6000)]
+        digest_a = TailDigest()
+        digest_a.extend(samples[:3000])
+        digest_b = TailDigest()
+        digest_b.extend(samples[3000:])
+        first = TailDigest.merged([digest_a, digest_b])
+        second = TailDigest.merged([digest_a, digest_b])
+        assert first.quantiles(QS) == second.quantiles(QS)
