@@ -13,7 +13,7 @@
 # for the opt-in layers (elastic, tenancy) — proof that the default
 # experiment grids are not perturbed by the layer existing.
 #
-# Usage: scripts/ci_smoke.sh {figure|chaos|traffic|elastic|tenancy}
+# Usage: scripts/ci_smoke.sh {figure|chaos|traffic|elastic|tenancy|backpressure}
 
 set -euo pipefail
 
@@ -57,7 +57,7 @@ fresh_default_grids() {
 
 # NB: no braces inside the ${1:?...} message — bash would close the
 # expansion at the first "}" and glue the rest onto the value.
-scenario="${1:?usage: $0 figure|chaos|traffic|elastic|tenancy}"
+scenario="${1:?usage: $0 figure|chaos|traffic|elastic|tenancy|backpressure}"
 
 case "$scenario" in
 figure)
@@ -104,6 +104,20 @@ tenancy)
     # default experiment grids.
     fresh_default_grids
     ! grep -qE "tenant|jain=|credits|admitted|evict" \
+        fig9-default.txt chaos-default.txt traffic-default.txt
+    ;;
+backpressure)
+    cold_warm_fresh protect protection --duration 60
+    grep -q "backpressure+shed" protect-cold.txt
+    grep -q "shed_rate" protect-cold.txt
+    grep -q "priority/free" protect-cold.txt
+    grep -q "priority/gold" protect-cold.txt
+    echo "== backpressure: default path unperturbed (opt-in layer off)"
+    # With simulation.flow / nimbus.flow left at their defaults (off) no
+    # shed, stall or throttle metric may surface anywhere in the default
+    # experiment grids.  ("shed" does not substring-match "scheduler".)
+    fresh_default_grids
+    ! grep -qE "shed|throttled|stall|backpressure" \
         fig9-default.txt chaos-default.txt traffic-default.txt
     ;;
 *)

@@ -18,6 +18,10 @@ Whenever a run includes scheduler probes (``sched-*`` or
 ``BENCH_sched.json`` summary is also written at the repo root (override
 with ``--summary``, disable with ``--summary ''``) so the scheduler perf
 trajectory is tracked across PRs next to the per-probe result files.
+An analogous ``BENCH_flow.json`` summary covers the overload-path
+probes (``traffic-overload``, ``overload-protect``) — the open-loop
+saturation path and the flow-control layer on top of it (override with
+``--flow-summary``, disable with ``--flow-summary ''``).
 """
 
 from __future__ import annotations
@@ -37,17 +41,27 @@ from repro.bench.core import (
 )
 from repro.bench.suites import REGISTRY
 
-__all__ = ["main", "build_parser", "write_sched_summary"]
+__all__ = [
+    "main",
+    "build_parser",
+    "write_sched_summary",
+    "write_flow_summary",
+]
 
 DEFAULT_OUT_DIR = "benchmarks/results"
 DEFAULT_BASELINE_DIR = "benchmarks/baseline"
 DEFAULT_SCHED_SUMMARY = "BENCH_sched.json"
+DEFAULT_FLOW_SUMMARY = "BENCH_flow.json"
 
 #: Prefix that marks a benchmark as a scheduler probe for the summary.
 SCHED_PREFIX = "sched-"
 #: Probes without the prefix that still belong in the scheduler
 #: summary (the admission plane feeds the schedulers directly).
 SCHED_SUMMARY_EXTRAS = ("tenant-admission",)
+
+#: Probes in the overload-path summary: the open-loop saturation path
+#: and the flow-control (backpressure + shedding) layer on top of it.
+FLOW_SUMMARY_PROBES = ("traffic-overload", "overload-protect")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -107,29 +121,29 @@ def build_parser() -> argparse.ArgumentParser:
         f"sched-* benchmark runs (default {DEFAULT_SCHED_SUMMARY}; "
         "pass '' to disable)",
     )
+    parser.add_argument(
+        "--flow-summary",
+        metavar="PATH",
+        default=DEFAULT_FLOW_SUMMARY,
+        help="path of the overload-path summary written when any flow "
+        f"probe runs (default {DEFAULT_FLOW_SUMMARY}; pass '' to "
+        "disable)",
+    )
     return parser
 
 
-def write_sched_summary(
-    results: List[BenchResult],
+def _write_probe_summary(
+    picked: List[BenchResult],
     baselines: Dict[str, Optional[BenchResult]],
     path: str,
 ) -> Optional[str]:
-    """Write the cross-PR scheduler summary if any ``sched-*`` probe ran.
-
-    One entry per probe with the headline numbers plus the speedup
+    """One entry per probe with the headline numbers plus the speedup
     against the loaded baseline (``null`` when no baseline exists), so a
-    single root-level file records the scheduler perf trajectory.
-    """
-    sched = [
-        r
-        for r in results
-        if r.name.startswith(SCHED_PREFIX) or r.name in SCHED_SUMMARY_EXTRAS
-    ]
-    if not sched or not path:
+    single root-level file records the perf trajectory across PRs."""
+    if not picked or not path:
         return None
     probes = {}
-    for result in sched:
+    for result in picked:
         baseline = baselines.get(result.name)
         speedup = (
             round(baseline.median_s / result.median_s, 3)
@@ -147,6 +161,30 @@ def write_sched_summary(
     target = pathlib.Path(path)
     target.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     return str(target)
+
+
+def write_sched_summary(
+    results: List[BenchResult],
+    baselines: Dict[str, Optional[BenchResult]],
+    path: str,
+) -> Optional[str]:
+    """Write the cross-PR scheduler summary if any ``sched-*`` probe ran."""
+    sched = [
+        r
+        for r in results
+        if r.name.startswith(SCHED_PREFIX) or r.name in SCHED_SUMMARY_EXTRAS
+    ]
+    return _write_probe_summary(sched, baselines, path)
+
+
+def write_flow_summary(
+    results: List[BenchResult],
+    baselines: Dict[str, Optional[BenchResult]],
+    path: str,
+) -> Optional[str]:
+    """Write the cross-PR overload-path summary if any flow probe ran."""
+    flow = [r for r in results if r.name in FLOW_SUMMARY_PROBES]
+    return _write_probe_summary(flow, baselines, path)
 
 
 def _format_row(result: BenchResult, baseline: Optional[BenchResult]) -> str:
@@ -200,6 +238,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     summary_path = write_sched_summary(results, baselines, args.summary)
     if summary_path is not None:
         print(f"  wrote {summary_path} (scheduler summary)")
+    flow_path = write_flow_summary(results, baselines, args.flow_summary)
+    if flow_path is not None:
+        print(f"  wrote {flow_path} (overload-path summary)")
     if args.check:
         if failures:
             print("\nperf gate FAILED:", file=sys.stderr)

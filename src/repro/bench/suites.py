@@ -1,6 +1,6 @@
 """The benchmark registry: what ``repro bench`` measures.
 
-Twelve probes, ordered cheapest first:
+Thirteen probes, ordered cheapest first:
 
 * ``engine-churn`` — raw DES event loop: payload-carrying events that
   perpetually reschedule themselves through the heap.
@@ -26,6 +26,11 @@ Twelve probes, ordered cheapest first:
   capacity: Poisson arrival scheduling, per-arrival key assignment, and
   the end-to-end latency digest, on an R-Storm-packed mid-size linear
   topology deliberately driven past saturation.
+* ``overload-protect`` — the flow-control layer's hot path: the hotspot
+  fan-in topology at 1.5x nominal with bounded queues, credit
+  backpressure and tail-drop shedding enabled, so per-delivery credit
+  accounting, watermark checks and the shed ledger are all on the
+  measured path under sustained stall/resume churn.
 * ``elastic-adapt`` — the elastic control loop adapting to sustained
   1.5x overload: per-period queue sampling, M/M/k sizing, live
   scale-up rescales and hot-executor rebalances on an R-Storm-packed
@@ -89,6 +94,13 @@ DELIVERY_REPLAY_MAX_RETRIES = 3
 TRAFFIC_OVERLOAD_DURATION_S = 120.0
 TRAFFIC_OVERLOAD_MULTIPLIER = 1.5
 TRAFFIC_OVERLOAD_PARALLELISM = 8
+
+#: The overload-protection probe: the ``protection`` experiment's 1.5x
+#: backpressure+shed operating point — the hotspot fan-in topology with
+#: bounded queues (32 batches), credit backpressure and tail-drop
+#: shedding, sized so the narrow stage stalls and sheds continuously.
+OVERLOAD_PROTECT_DURATION_S = 120.0
+OVERLOAD_PROTECT_MULTIPLIER = 1.5
 
 #: The elastic-adaptation probe: the sustained-overload scenario of the
 #: ``elastic`` experiment — Poisson at 1.5x nominal on the parallelism-6
@@ -429,6 +441,48 @@ def _prepare_traffic_overload() -> Callable[[], int]:
     return workload
 
 
+def _prepare_overload_protect() -> Callable[[], int]:
+    from repro.cluster.builders import emulab_testbed
+    from repro.experiments.parallel import SimulationUnit, spec
+    from repro.experiments.protection import (
+        BASE_RATE_TPS,
+        QUEUE_CAPACITY,
+        TOPO_ID,
+    )
+    from repro.scheduler.rstorm import RStormScheduler
+    from repro.simulation.config import SimulationConfig
+    from repro.simulation.flowcontrol import FlowControlConfig
+    from repro.traffic.arrivals import PoissonArrivals
+    from repro.workloads.micro import hotspot_topology
+
+    unit = SimulationUnit(
+        scheduler=spec(RStormScheduler),
+        topologies=(spec(hotspot_topology),),
+        cluster=spec(emulab_testbed),
+        config=SimulationConfig(
+            duration_s=OVERLOAD_PROTECT_DURATION_S,
+            warmup_s=15.0,
+            arrival_process=PoissonArrivals(
+                rate_tps=BASE_RATE_TPS * OVERLOAD_PROTECT_MULTIPLIER
+            ),
+            flow=FlowControlConfig(
+                queue_capacity=QUEUE_CAPACITY, shedding="tail-drop"
+            ),
+        ),
+        label="bench:overload-protect",
+    )
+
+    def workload() -> int:
+        report = unit.execute().report
+        if report.shed(TOPO_ID) <= 0:  # pragma: no cover - sanity
+            raise AssertionError("overload-protect bench shed nothing")
+        if report.spout_throttled_s(TOPO_ID) <= 0:  # pragma: no cover
+            raise AssertionError("overload-protect bench never throttled")
+        return report.events_processed
+
+    return workload
+
+
 def _prepare_elastic_adapt() -> Callable[[], int]:
     from repro.cluster.builders import emulab_testbed
     from repro.experiments.overload import BASE_RATE_TPS
@@ -616,6 +670,17 @@ REGISTRY: Dict[str, Benchmark] = {
                 f"{TRAFFIC_OVERLOAD_DURATION_S:g} simulated s"
             ),
             prepare=_prepare_traffic_overload,
+            repeats=3,
+        ),
+        Benchmark(
+            name="overload-protect",
+            description=(
+                "flow-control hot path: hotspot fan-in at "
+                f"{OVERLOAD_PROTECT_MULTIPLIER:g}x with bounded queues, "
+                "credit backpressure and tail-drop shedding, "
+                f"{OVERLOAD_PROTECT_DURATION_S:g} simulated s"
+            ),
+            prepare=_prepare_overload_protect,
             repeats=3,
         ),
         Benchmark(

@@ -12,6 +12,7 @@ from repro.experiments import (
     fig8_network_bound,
     fig9_compute_bound,
     overload,
+    protection,
     scalability,
     scheduling_overhead,
     tenants,
@@ -55,6 +56,7 @@ REGISTRY: Dict[str, Callable[..., ExperimentResult]] = {
     "traffic": overload.run,
     "elastic": elastic.run,
     "tenants": tenants.run,
+    "protection": protection.run,
 }
 
 __all__ = [

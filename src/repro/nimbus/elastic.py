@@ -183,6 +183,11 @@ class ElasticController:
         self._last_processed: Dict[Tuple[str, str], int] = {}
         self._last_busy: Dict[str, float] = {}
         self._last_backlog: Dict[Tuple[str, str], int] = {}
+        #: per-(topology, component) shed-tuple totals at the last tick —
+        #: with the flow layer on, shed tuples never reach the bounded
+        #: queue, so backlog alone under-reads demand; the shed delta
+        #: restores it.  Stays empty (zero deltas) when flow is off.
+        self._last_shed: Dict[Tuple[str, str], int] = {}
         #: consecutive periods a component's requirement sat below its
         #: current parallelism (scale-down patience)
         self._below_streak: Dict[Tuple[str, str], int] = {}
@@ -213,10 +218,11 @@ class ElasticController:
         dt = now - last_time
         processed = run.stats.processed_snapshot()
         busy = run.stats.busy_snapshot()
+        shed = run.stats.shed_snapshot()
         if dt > 0:
             for topology_id in list(self.nimbus.assignments):
                 scaled = self._scale_topology(
-                    run, topology_id, processed, dt, period, now
+                    run, topology_id, processed, shed, dt, period, now
                 )
                 if not scaled and self.config.elastic_rebalance_enabled:
                     self._rebalance_topology(
@@ -225,12 +231,14 @@ class ElasticController:
         self._last_time = now
         self._last_processed = processed
         self._last_busy = busy
+        self._last_shed = shed
 
     def _scale_topology(
         self,
         run,
         topology_id: str,
         processed: Dict[Tuple[str, str], int],
+        shed: Dict[Tuple[str, str], int],
         dt: float,
         period: float,
         now: float,
@@ -250,7 +258,12 @@ class ElasticController:
             delta = processed.get(key, 0) - self._last_processed.get(key, 0)
             growth = backlog - self._last_backlog.get(key, 0)
             self._last_backlog[key] = backlog
-            arrival_tps = max(0.0, (delta + growth) / dt)
+            # Tuples the shedding policy dropped at this bolt's bounded
+            # queue this period were offered demand the queue never saw —
+            # without this term a shedding component looks underloaded
+            # exactly when it is drowning.  Zero with flow control off.
+            shed_delta = shed.get(key, 0) - self._last_shed.get(key, 0)
+            arrival_tps = max(0.0, (delta + growth + shed_delta) / dt)
             # Per-task service capacity at the *declared* CPU share —
             # the same contract the scheduler packs against (a task
             # declaring 25 points is guaranteed a quarter core, so plan

@@ -1,0 +1,328 @@
+"""Flow control: bounded queues, credit backpressure, load shedding.
+
+The open-loop traffic experiments (PR 6) showed what happens without
+flow control: past 1x offered load, queues grow without bound, p99
+end-to-end latency diverges, and eventually workers die of queue
+overflow.  This module is the missing robustness layer — the simulated
+counterpart of Storm 1.x backpressure plus DRS-style load shedding:
+
+* **Bounded input queues.**  Every executor's input queue gets a
+  capacity (``queue_capacity`` batches).  Queue occupancy is the credit
+  currency below; nothing is ever silently discarded because of the
+  bound alone — what happens at the bound is the shedding policy's
+  decision.
+* **Credit-based backpressure.**  Every edge (producer component ->
+  consumer component) of a topology carries a :class:`CreditLedger`
+  sized to the total queue capacity of its consumer tasks.  Routing a
+  batch consumes one credit; the batch leaving the consumer's queue
+  (serviced or shed) returns it.  When an edge's outstanding credit
+  crosses the **high watermark**, the producer component *stalls*:
+  bolts stop draining their own input queues (so pressure propagates
+  upstream edge-by-edge), and spouts stop emitting.  When the edge
+  drains back under the **low watermark**, the producer resumes.  The
+  watermark gap is the hysteresis that prevents stall/resume flapping.
+* **Load shedding.**  A pluggable policy chain decides what happens to
+  a batch arriving at a full queue: ``none`` (never shed — backpressure
+  only; queues can still overshoot by in-flight deliveries), ``tail-drop``
+  (shed at capacity), or ``priority`` (shed *earlier* for low-priority
+  tenants, so gold traffic sheds last; thresholds come from the tenant
+  registry via :func:`tenant_priorities`).  Every shed batch lands in
+  an auditable :class:`ShedLedger` entry and the delivery-audit closure
+  is extended — every origin is acked, failed, exhausted **or shed**,
+  never silently dropped.
+
+Everything here is opt-in: ``SimulationConfig.flow`` defaults to
+``None`` and the runtime's disabled path is byte-identical (CI-asserted
+by the ``backpressure`` smoke scenario).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ConfigError
+
+__all__ = [
+    "FlowControlConfig",
+    "CreditLedger",
+    "ShedLedger",
+    "ShedRecord",
+    "SheddingPolicy",
+    "make_policy",
+    "tenant_priorities",
+    "SHEDDING_POLICIES",
+]
+
+#: Recognised shedding policy names, in escalation order.
+SHEDDING_POLICIES = ("none", "tail-drop", "priority")
+
+#: Priority shedding: the *lowest*-priority tenants shed from this
+#: fraction of queue capacity; the highest shed only at capacity.
+_PRIORITY_FLOOR = 0.5
+
+
+@dataclass(frozen=True)
+class FlowControlConfig:
+    """Opt-in flow-control knobs (``simulation.flow.*``).
+
+    Attributes:
+        queue_capacity: Bounded input-queue size per executor, in
+            batches.  Also the per-consumer contribution to each edge's
+            credit pool.
+        high_watermark: Edge occupancy fraction (outstanding credits /
+            pool size) at which the producing component stalls.
+        low_watermark: Occupancy fraction at which a stalled producer
+            resumes.  Must be below ``high_watermark`` — the gap is the
+            stall/resume hysteresis.
+        shedding: ``none`` | ``tail-drop`` | ``priority`` (see module
+            docstring).
+        priorities: ``(topology_id, priority)`` pairs consulted by the
+            ``priority`` policy (higher priority sheds later).
+            Topologies absent from the map shed only at full capacity,
+            like ``tail-drop``.  Build from a tenant registry with
+            :func:`tenant_priorities`.
+        shed_ledger_capacity: Most recent shed records kept for audit
+            (totals are exact regardless).
+    """
+
+    queue_capacity: int = 64
+    high_watermark: float = 0.8
+    low_watermark: float = 0.4
+    shedding: str = "none"
+    priorities: Tuple[Tuple[str, int], ...] = ()
+    shed_ledger_capacity: int = 10_000
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.queue_capacity, int) or isinstance(
+            self.queue_capacity, bool
+        ) or self.queue_capacity < 1:
+            raise ConfigError("flow queue_capacity must be an int >= 1")
+        if not 0.0 < self.high_watermark <= 1.0:
+            raise ConfigError("flow high_watermark must be in (0, 1]")
+        if not 0.0 <= self.low_watermark < self.high_watermark:
+            raise ConfigError(
+                "flow low_watermark must be in [0, high_watermark)"
+            )
+        if self.shedding not in SHEDDING_POLICIES:
+            raise ConfigError(
+                f"flow shedding must be one of {SHEDDING_POLICIES}, "
+                f"got {self.shedding!r}"
+            )
+        for pair in self.priorities:
+            if (
+                not isinstance(pair, tuple)
+                or len(pair) != 2
+                or not isinstance(pair[0], str)
+                or not isinstance(pair[1], int)
+                or isinstance(pair[1], bool)
+            ):
+                raise ConfigError(
+                    "flow priorities must be (topology_id, int) pairs, "
+                    f"got {pair!r}"
+                )
+        if not isinstance(self.shed_ledger_capacity, int) or isinstance(
+            self.shed_ledger_capacity, bool
+        ) or self.shed_ledger_capacity < 1:
+            raise ConfigError("flow shed_ledger_capacity must be >= 1")
+
+
+def tenant_priorities(
+    tenants: Dict[str, object], owners: Dict[str, str]
+) -> Tuple[Tuple[str, int], ...]:
+    """Topology -> tenant-priority pairs for ``priority`` shedding.
+
+    Args:
+        tenants: ``tenant_id -> Tenant`` registry (anything with a
+            ``priority`` attribute works).
+        owners: ``topology_id -> tenant_id`` ownership map, e.g.
+            :meth:`repro.nimbus.tenancy.TenancyController.owners`.
+
+    Topologies owned by an unregistered tenant are skipped (they shed
+    at full capacity, like ``tail-drop``).
+    """
+    pairs = []
+    for topology_id in sorted(owners):
+        tenant = tenants.get(owners[topology_id])
+        if tenant is not None:
+            pairs.append((topology_id, int(tenant.priority)))
+    return tuple(pairs)
+
+
+class CreditLedger:
+    """Per-edge credit accounting — the backpressure state machine.
+
+    The ledger tracks ``outstanding`` batches on one producer->consumer
+    edge: a *send* consumes a credit, a *drain* (the batch leaving the
+    consumer's queue, serviced or shed) returns it.  Conservation
+    invariant, property-tested with hypothesis::
+
+        sends == drains + outstanding     and     outstanding >= 0
+
+    Watermark semantics: the edge *stalls* its producer when occupancy
+    (``outstanding / pool``) reaches ``high_watermark`` and *resumes* it
+    when occupancy falls back to ``low_watermark``.  ``outstanding`` may
+    legitimately exceed the stall threshold — and even the pool — by
+    deliveries that were already in flight on the wire when the producer
+    stalled; they are accounted, never lost.
+    """
+
+    __slots__ = (
+        "pool", "outstanding", "sends", "drains", "stalled",
+        "stall_count", "_stall_at", "_resume_at",
+    )
+
+    def __init__(self, pool: int, high_watermark: float,
+                 low_watermark: float):
+        if pool < 1:
+            raise ValueError("credit pool must be >= 1")
+        self.pool = pool
+        self.outstanding = 0
+        self.sends = 0
+        self.drains = 0
+        self.stalled = False
+        self.stall_count = 0
+        # Precomputed batch thresholds; >= _stall_at stalls, <=
+        # _resume_at resumes.  _stall_at is at least 1 so a pool-of-one
+        # edge still stalls, and _resume_at is strictly below _stall_at
+        # (hysteresis) because low_watermark < high_watermark.
+        self._stall_at = max(1, int(round(pool * high_watermark)))
+        self._resume_at = min(
+            int(pool * low_watermark), self._stall_at - 1
+        )
+
+    def send(self) -> bool:
+        """Consume one credit; True when this send stalls the edge."""
+        self.sends += 1
+        self.outstanding += 1
+        if not self.stalled and self.outstanding >= self._stall_at:
+            self.stalled = True
+            self.stall_count += 1
+            return True
+        return False
+
+    def drain(self) -> bool:
+        """Return one credit; True when this drain resumes the edge."""
+        self.drains += 1
+        self.outstanding -= 1
+        if self.outstanding < 0:  # pragma: no cover - invariant guard
+            raise ValueError("edge drained more credits than were sent")
+        if self.stalled and self.outstanding <= self._resume_at:
+            self.stalled = False
+            return True
+        return False
+
+    @property
+    def available(self) -> int:
+        """Credits left before the pool is fully consumed (may go
+        negative for in-flight overshoot; see class docstring)."""
+        return self.pool - self.outstanding
+
+    def conserved(self) -> bool:
+        """The conservation invariant (for tests/audits)."""
+        return (
+            self.sends == self.drains + self.outstanding
+            and self.outstanding >= 0
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"CreditLedger(pool={self.pool}, outstanding={self.outstanding},"
+            f" stalled={self.stalled})"
+        )
+
+
+@dataclass(frozen=True)
+class ShedRecord:
+    """One audited shed decision (plain data, picklable)."""
+
+    time_s: float
+    topology_id: str
+    component: str
+    #: ``ingress`` (dropped at the spout before emission) or ``queue``
+    #: (dropped at a full bolt queue; the tuple tree resolves as shed).
+    stage: str
+    tuples: int
+    #: the policy that made the call (``tail-drop`` | ``priority``)
+    policy: str
+
+
+class ShedLedger:
+    """Bounded audit log of shed decisions with exact totals.
+
+    The record ring keeps the most recent ``capacity`` entries; the
+    totals never truncate, so the delivery-audit closure is exact even
+    on runs that shed millions of tuples.
+    """
+
+    __slots__ = ("capacity", "records", "total_tuples", "total_batches",
+                 "dropped_records")
+
+    def __init__(self, capacity: int = 10_000):
+        if capacity < 1:
+            raise ValueError("shed ledger capacity must be >= 1")
+        self.capacity = capacity
+        self.records: List[ShedRecord] = []
+        self.total_tuples = 0
+        self.total_batches = 0
+        #: records evicted from the bounded ring (totals still count them)
+        self.dropped_records = 0
+
+    def record(self, entry: ShedRecord) -> None:
+        self.total_tuples += entry.tuples
+        self.total_batches += 1
+        if len(self.records) >= self.capacity:
+            del self.records[0]
+            self.dropped_records += 1
+        self.records.append(entry)
+
+
+@dataclass(frozen=True)
+class SheddingPolicy:
+    """Threshold-based shedding decision for one topology's queues.
+
+    ``threshold(topology_id)`` returns the occupancy (in batches, against
+    ``queue_capacity``) at which a batch bound for that topology is shed;
+    ``None`` means never shed (the ``none`` policy).  The ``priority``
+    policy maps tenant priority rank onto a threshold between
+    ``_PRIORITY_FLOOR * capacity`` (lowest priority — sheds first) and
+    ``capacity`` (highest priority — sheds last, like ``tail-drop``).
+    """
+
+    name: str
+    capacity: int
+    #: topology_id -> shed threshold in batches (missing -> default)
+    thresholds: Dict[str, int] = field(default_factory=dict)
+
+    def threshold(self, topology_id: str) -> Optional[int]:
+        if self.name == "none":
+            return None
+        return self.thresholds.get(topology_id, self.capacity)
+
+    def should_shed(self, topology_id: str, occupancy: int) -> bool:
+        """Shed a batch arriving while ``occupancy`` batches queue?"""
+        cut = self.threshold(topology_id)
+        return cut is not None and occupancy >= cut
+
+
+def make_policy(config: FlowControlConfig) -> SheddingPolicy:
+    """Build the configured shedding policy.
+
+    For ``priority``, tenant priorities are normalised by rank: with
+    priorities ``{0, 1, 2}`` registered, priority-0 topologies shed at
+    50% occupancy, priority-1 at 75%, priority-2 only when full — gold
+    sheds last.  A single registered priority class (or none) behaves
+    exactly like ``tail-drop``.
+    """
+    capacity = config.queue_capacity
+    if config.shedding != "priority" or not config.priorities:
+        return SheddingPolicy(name=config.shedding, capacity=capacity)
+    top = max(priority for _, priority in config.priorities)
+    thresholds: Dict[str, int] = {}
+    for topology_id, priority in config.priorities:
+        rank = (priority + 1) / (top + 1)  # (0, 1], 1.0 for the top class
+        span = _PRIORITY_FLOOR + (1.0 - _PRIORITY_FLOOR) * rank
+        thresholds[topology_id] = max(1, int(round(capacity * span)))
+    return SheddingPolicy(
+        name="priority", capacity=capacity, thresholds=thresholds
+    )

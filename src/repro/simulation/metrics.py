@@ -87,6 +87,22 @@ class StatisticServer:
         self._arrivals_dropped: Dict[str, int] = defaultdict(int)
         #: topology -> end-to-end (arrival -> full ack) latency digest
         self._e2e_digests: Dict[str, TailDigest] = {}
+        # -- flow-control counters (config.flow runs only; all stay
+        # -- empty/zero on default runs).
+        #: topology -> tuples shed by the shedding policy (all stages)
+        self._shed_totals: Dict[str, int] = defaultdict(int)
+        #: topology -> shed batch count
+        self._shed_batches: Dict[str, int] = defaultdict(int)
+        #: (topology, stage) -> shed tuples (``ingress`` | ``queue``)
+        self._shed_stages: Dict[Tuple[str, str], int] = defaultdict(int)
+        #: (topology, component) -> shed tuples (elastic demand signal)
+        self._shed_components: Dict[Tuple[str, str], int] = defaultdict(int)
+        #: (topology, window_index) -> shed tuples (shed-rate series)
+        self._shed_windows: Dict[Tuple[str, int], int] = defaultdict(int)
+        #: (topology, producer, consumer) -> times the edge stalled
+        self._credit_stalls: Dict[Tuple[str, str, str], int] = defaultdict(int)
+        #: topology -> seconds spouts spent throttled by backpressure
+        self._spout_throttled: Dict[str, float] = defaultdict(float)
 
     # -- recording ---------------------------------------------------------
 
@@ -164,6 +180,26 @@ class StatisticServer:
         if digest is None:
             digest = self._e2e_digests[topology_id] = TailDigest()
         digest.add(latency_s)
+
+    def record_shed(
+        self, topology_id: str, component: str, stage: str, time: float,
+        tuples: int,
+    ) -> None:
+        self._shed_totals[topology_id] += tuples
+        self._shed_batches[topology_id] += 1
+        self._shed_stages[(topology_id, stage)] += tuples
+        self._shed_components[(topology_id, component)] += tuples
+        self._shed_windows[(topology_id, int(time / self.window_s))] += tuples
+
+    def record_credit_stall(
+        self, topology_id: str, producer: str, consumer: str
+    ) -> None:
+        self._credit_stalls[(topology_id, producer, consumer)] += 1
+
+    def record_spout_throttle(
+        self, topology_id: str, seconds: float
+    ) -> None:
+        self._spout_throttled[topology_id] += seconds
 
     # -- raw views --------------------------------------------------------
 
@@ -305,6 +341,64 @@ class StatisticServer:
             for (topo, comp), count in self._crashes.items()
             if topo == topology_id
         }
+
+    def shed_total(self, topology_id: str) -> int:
+        return self._shed_totals.get(topology_id, 0)
+
+    def shed_batches(self, topology_id: str) -> int:
+        return self._shed_batches.get(topology_id, 0)
+
+    def shed_by_stage(self, topology_id: str) -> Dict[str, int]:
+        return {
+            stage: tuples
+            for (topo, stage), tuples in sorted(self._shed_stages.items())
+            if topo == topology_id
+        }
+
+    def shed_by_component(self, topology_id: str) -> Dict[str, int]:
+        return {
+            comp: tuples
+            for (topo, comp), tuples in sorted(self._shed_components.items())
+            if topo == topology_id
+        }
+
+    def shed_snapshot(self) -> Dict[Tuple[str, str], int]:
+        """Copy of per-(topology, component) shed-tuple totals — the
+        elastic controller diffs consecutive snapshots to recover the
+        demand the shedding policy hid from the backlog signal."""
+        return dict(self._shed_components)
+
+    def shed_series(
+        self, topology_id: str, duration_s: float
+    ) -> List[Tuple[float, int]]:
+        """(window_start_s, shed tuples) for every window — alongside
+        :meth:`offered_series` this is the achieved-vs-offered picture
+        under overload protection."""
+        num_windows = int(math.ceil(duration_s / self.window_s))
+        return [
+            (w * self.window_s, self._shed_windows.get((topology_id, w), 0))
+            for w in range(num_windows)
+        ]
+
+    def credit_stalls(self, topology_id: str) -> Dict[Tuple[str, str], int]:
+        """Per-edge stall counts: (producer, consumer) -> stalls."""
+        return {
+            (producer, consumer): count
+            for (topo, producer, consumer), count in sorted(
+                self._credit_stalls.items()
+            )
+            if topo == topology_id
+        }
+
+    def credit_stall_total(self, topology_id: str) -> int:
+        return sum(
+            count
+            for (topo, _, _), count in self._credit_stalls.items()
+            if topo == topology_id
+        )
+
+    def spout_throttled_s(self, topology_id: str) -> float:
+        return self._spout_throttled.get(topology_id, 0.0)
 
     def topologies_seen(self) -> List[str]:
         seen = set(self._sink_totals) | set(self._emitted)

@@ -233,6 +233,48 @@ class SimulationReport:
         """End-to-end (arrival -> full ack) latency percentiles."""
         return TailLatency.from_digest(self.stats.e2e_digest(topology_id))
 
+    # -- flow control (backpressure + shedding layer) -----------------------------
+
+    def shed(self, topology_id: str) -> int:
+        """Tuples dropped by the shedding policy (ingress + queue)."""
+        return self.stats.shed_total(topology_id)
+
+    def shed_by_stage(self, topology_id: str) -> Dict[str, int]:
+        """Shed tuples split by stage (``ingress`` vs ``queue``)."""
+        return self.stats.shed_by_stage(topology_id)
+
+    def shed_rate(self, topology_id: str) -> float:
+        """Shed tuples as a fraction of demand.
+
+        Demand is offered load on open-loop runs; on closed-loop runs
+        it is emitted + shed (the traffic the spouts tried to move).
+        0.0 when nothing was demanded.
+        """
+        shed = self.shed(topology_id)
+        offered = self.offered(topology_id)
+        if offered > 0:
+            return shed / offered
+        demand = self.emitted(topology_id) + shed
+        if demand <= 0:
+            return 0.0
+        return shed / demand
+
+    def shed_series(self, topology_id: str) -> List[Tuple[float, int]]:
+        """(window_start_s, shed tuples) for the whole run."""
+        return self.stats.shed_series(topology_id, self.duration_s)
+
+    def spout_throttled_s(self, topology_id: str) -> float:
+        """Total seconds the topology's spouts spent backpressure-paused."""
+        return self.stats.spout_throttled_s(topology_id)
+
+    def credit_stalls(self, topology_id: str) -> Dict[Tuple[str, str], int]:
+        """Per-edge stall counts: (producer, consumer) -> stalls."""
+        return self.stats.credit_stalls(topology_id)
+
+    def credit_stall_total(self, topology_id: str) -> int:
+        """Total high-watermark stall transitions across all edges."""
+        return self.stats.credit_stall_total(topology_id)
+
     # -- multi-tenant rollups -----------------------------------------------------
 
     def tenant_e2e_latency(self, topology_ids: Sequence[str]) -> TailLatency:
@@ -315,6 +357,19 @@ class SimulationReport:
 
     # -- summary ----------------------------------------------------------------------
 
+    def is_empty(self, topology_id: str) -> bool:
+        """True when the topology moved no tuples at all this run.
+
+        Percentile and rate rows are meaningless on a zero-tuple run —
+        instead of reporting p50=0ms (which reads as "instant"), the
+        summary carries an explicit ``empty`` marker.
+        """
+        return (
+            self.emitted(topology_id) == 0
+            and self.sunk(topology_id) == 0
+            and self.offered(topology_id) == 0
+        )
+
     def summary(self) -> Dict[str, Dict[str, float]]:
         """Per-topology headline numbers, ready for printing."""
         out: Dict[str, Dict[str, float]] = {}
@@ -375,4 +430,23 @@ class SimulationReport:
                         "e2e_p999_ms": round(latency.p999 * 1e3, 3),
                     }
                 )
+            if self.config.flow is not None:
+                # Flow-control keys only appear when the backpressure
+                # layer is on, keeping default summaries byte-identical.
+                out[topo_id].update(
+                    {
+                        "shed": float(self.shed(topo_id)),
+                        "shed_rate": round(self.shed_rate(topo_id), 4),
+                        "spout_throttled_s": round(
+                            self.spout_throttled_s(topo_id), 3
+                        ),
+                        "credit_stalls": float(
+                            self.credit_stall_total(topo_id)
+                        ),
+                    }
+                )
+            if self.is_empty(topo_id):
+                # Explicit marker: latency/rate rows above are
+                # placeholders, not measurements (zero-tuple run).
+                out[topo_id]["empty"] = 1.0
         return out

@@ -38,14 +38,20 @@ from repro.errors import SchedulingError, SimulationError
 from repro.scheduler.assignment import Assignment
 from repro.simulation.config import SimulationConfig
 from repro.simulation.engine import Simulator
+from repro.simulation.flowcontrol import (
+    CreditLedger,
+    ShedLedger,
+    ShedRecord,
+    make_policy,
+)
 from repro.simulation.metrics import StatisticServer
 from repro.simulation.network import TransferModel
 from repro.simulation.report import SimulationReport
 from repro.topology.component import Component
 from repro.topology.grouping import LocalOrShuffleGrouping
-from repro.traffic.arrivals import derive_stream_seed
 from repro.topology.task import Task
 from repro.topology.topology import Topology
+from repro.traffic.arrivals import derive_stream_seed
 
 __all__ = ["SimulationRun"]
 
@@ -135,6 +141,7 @@ class _TaskRuntime:
         "task", "component", "profile", "topo", "slot", "node", "work",
         "running", "queued", "alive", "out_routes", "inflight",
         "emit_blocked", "emit_timer_set", "next_emit_time", "is_spout",
+        "fc_paused",
     )
 
     def __init__(self, task: Task, component: Component,
@@ -156,6 +163,11 @@ class _TaskRuntime:
         self.emit_timer_set = False
         self.next_emit_time = 0.0
         self.is_spout = component.is_spout
+        #: flow control: True while any of this task's component's
+        #: out-edges is over its high watermark — a paused bolt stops
+        #: draining its queue, a paused spout stops emitting.  Always
+        #: False when flow control is off.
+        self.fc_paused = False
 
     @property
     def node_id(self) -> str:
@@ -202,7 +214,7 @@ class _TopologyRuntime:
 
     __slots__ = ("topology", "assignment", "pending", "next_root", "spouts",
                  "origins_created", "origins_exhausted",
-                 "replays_outstanding")
+                 "replays_outstanding", "origins_shed", "flow")
 
     def __init__(self, topology: Topology, assignment: Assignment):
         self.topology = topology
@@ -220,10 +232,39 @@ class _TopologyRuntime:
         self.origins_exhausted = 0
         #: replays scheduled or queued but not yet re-emitted
         self.replays_outstanding = 0
+        #: root tuples deliberately dropped by the shedding policy
+        #: (ingress or queue stage) — audited, never silent
+        self.origins_shed = 0
+        #: per-topology flow-control state; None unless config.flow is set
+        self.flow: Optional["_FlowState"] = None
 
     @property
     def topology_id(self) -> str:
         return self.topology.topology_id
+
+
+class _FlowState:
+    """Per-topology flow-control state (built only when flow is on).
+
+    Credit ledgers live at *component* granularity: one ledger per
+    (producer component -> consumer component) edge, with a pool sized
+    to ``queue_capacity`` times the consumer's task count.  Stall state
+    is likewise per component — a producer stalls when *any* of its out
+    edges is saturated and resumes only when none are.
+    """
+
+    __slots__ = ("edges", "tasks_of", "stalled_edges", "spout_stalled_since")
+
+    def __init__(self) -> None:
+        #: (producer component, consumer component) -> edge ledger
+        self.edges: Dict[Tuple[str, str], CreditLedger] = {}
+        #: component name -> its live task runtimes
+        self.tasks_of: Dict[str, List[_TaskRuntime]] = {}
+        #: producer component -> number of its out edges currently stalled
+        self.stalled_edges: Dict[str, int] = {}
+        #: spout component -> sim time its current stall began (for the
+        #: throttled-spout-time metric)
+        self.spout_stalled_since: Dict[str, float] = {}
 
 
 class SimulationRun:
@@ -263,6 +304,26 @@ class SimulationRun:
         self._replay_backoff = self.config.replay_backoff_s
         self._arrival = self.config.arrival_process
         self._open_loop = self._arrival is not None
+        # Flow control (None on the default path: every hot-path hook is
+        # guarded on ``self._fc is None`` so disabled runs stay
+        # byte-identical).
+        self._fc = self.config.flow
+        if self._fc is not None:
+            self._fc_policy = make_policy(self._fc)
+            self._fc_shed = (
+                self._fc_policy if self._fc_policy.name != "none" else None
+            )
+            self._fc_ledger: Optional[ShedLedger] = ShedLedger(
+                self._fc.shed_ledger_capacity
+            )
+        else:
+            self._fc_policy = None
+            self._fc_shed = None
+            self._fc_ledger = None
+        #: origin audit counters are maintained whenever either layer
+        #: that resolves origins explicitly (at-least-once replay, flow
+        #: shedding) is on — equal to ``_at_least_once`` when flow is off.
+        self._track_origins = self._at_least_once or self._fc is not None
         if self._open_loop:
             # Open-loop spouts emit only what arrives; every closed-loop
             # credit/rate trigger (acks, sweeps, revivals) is a no-op.
@@ -330,7 +391,83 @@ class SimulationRun:
                         consumers,
                     )
                 )
+        if self._fc is not None:
+            self._init_flow(topo_rt)
         self._topologies.append(topo_rt)
+
+    def _init_flow(self, topo_rt: _TopologyRuntime) -> None:
+        """(Re)build a topology's credit ledgers from its live generation.
+
+        Called at construction and again after a :meth:`rescale` (pool
+        sizes follow consumer parallelism).  On rebuild, per-edge
+        outstanding/send/drain counts carry over so credits held by
+        batches already queued or in flight stay conserved; stall state
+        is then re-derived against the new thresholds and every task's
+        ``fc_paused`` flag refreshed.
+        """
+        flow = self._fc
+        topology = topo_rt.topology
+        old = topo_rt.flow
+        fc = _FlowState()
+        names = sorted({t.component for t in topology.tasks})
+        for name in names:
+            fc.tasks_of[name] = [
+                self._task_runtimes[t] for t in topology.tasks_of(name)
+            ]
+        for name in names:
+            for consumer_name in topology.downstream_of(name):
+                pool = flow.queue_capacity * len(
+                    topology.tasks_of(consumer_name)
+                )
+                ledger = CreditLedger(
+                    pool, flow.high_watermark, flow.low_watermark
+                )
+                if old is not None:
+                    prev = old.edges.get((name, consumer_name))
+                    if prev is not None:
+                        ledger.outstanding = prev.outstanding
+                        ledger.sends = prev.sends
+                        ledger.drains = prev.drains
+                        ledger.stall_count = prev.stall_count
+                        ledger.stalled = (
+                            ledger.outstanding >= ledger._stall_at
+                        )
+                fc.edges[(name, consumer_name)] = ledger
+        for (producer_name, _), ledger in fc.edges.items():
+            if ledger.stalled:
+                fc.stalled_edges[producer_name] = (
+                    fc.stalled_edges.get(producer_name, 0) + 1
+                )
+        for name in names:
+            paused = fc.stalled_edges.get(name, 0) > 0
+            for rt in fc.tasks_of[name]:
+                rt.fc_paused = paused
+        if old is not None:
+            # Carry open stall intervals for spouts still stalled; close
+            # (and account) the intervals of spouts the rebuild resumed.
+            now = self.sim.now
+            for name, since in old.spout_stalled_since.items():
+                if fc.stalled_edges.get(name, 0) > 0:
+                    fc.spout_stalled_since[name] = since
+                else:
+                    self.stats.record_spout_throttle(
+                        topo_rt.topology_id, now - since
+                    )
+        topo_rt.flow = fc
+        if old is not None:
+            # Tasks the rebuild un-paused must drain again.
+            for name in names:
+                if fc.stalled_edges.get(name, 0) > 0:
+                    continue
+                for rt in fc.tasks_of[name]:
+                    if not rt.alive or not rt.node.node.alive:
+                        continue
+                    if rt.is_spout:
+                        self._try_emit(rt)
+                    if rt.work and not rt.queued and not rt.running:
+                        rt.queued = True
+                        rt.node.ready.append(rt)
+                        self._dispatch(rt.node)
 
     def _recompute_node_factors(self) -> None:
         """Thrash and context-switch factors from current placements.
@@ -539,6 +676,8 @@ class SimulationRun:
         for task in removed:
             rt = self._task_runtimes.pop(task)
             rt.alive = False
+            if self._fc is not None and rt.work:
+                self._fc_release_queue(rt)
             rt.work.clear()
             rt.out_routes = []
             if rt.queued:
@@ -623,6 +762,8 @@ class SimulationRun:
         topo_rt.spouts = [runtimes[t] for t in sorted(new_spouts)]
         self._placement_version += 1
         self._recompute_node_factors()
+        if self._fc is not None:
+            self._init_flow(topo_rt)
         for spout in topo_rt.spouts:
             if spout.alive:
                 self._try_emit(spout)
@@ -671,6 +812,8 @@ class SimulationRun:
             rt.alive = False
             if self._at_least_once and rt.is_spout and rt.work:
                 self._abandon_queued_replays(rt)
+            if self._fc is not None and rt.work:
+                self._fc_release_queue(rt)
             rt.work.clear()
             rt.queued = False
             # A spout killed mid-emit must not stay blocked forever: its
@@ -751,7 +894,16 @@ class SimulationRun:
         self.stats.record_offered(topo_id, now, tuples)
         self._arrival_log.append((source, now, tuples, key))
         if spout.alive and spout.node.node.alive:
-            self._push_work(spout, _EMIT, (now, tuples, key))
+            fc_shed = self._fc_shed
+            if fc_shed is not None and fc_shed.should_shed(
+                topo_id, len(spout.work)
+            ):
+                # Ingress shedding: the batch is refused at the spout's
+                # bounded queue before it ever becomes a tuple tree —
+                # audited, never emitted.
+                self._shed(topo_id, spout.component.name, "ingress", tuples)
+            else:
+                self._push_work(spout, _EMIT, (now, tuples, key))
         else:
             self.stats.record_arrival_dropped(topo_id, tuples)
         nxt = next(stream, None)
@@ -779,6 +931,7 @@ class SimulationRun:
             not spout.alive
             or not spout.node.node.alive
             or spout.emit_blocked
+            or spout.fc_paused
             or (pending_cap is not None and spout.inflight >= pending_cap)
         ):
             return
@@ -814,7 +967,7 @@ class SimulationRun:
         if overflow is not None and len(task.work) > overflow:
             self._crash_task(task)
             return
-        if not task.queued and not task.running:
+        if not task.queued and not task.running and not task.fc_paused:
             task.queued = True
             task.node.ready.append(task)
             self._dispatch(task.node)
@@ -827,6 +980,8 @@ class SimulationRun:
         task.alive = False
         if self._at_least_once and task.is_spout and task.work:
             self._abandon_queued_replays(task)
+        if self._fc is not None and task.work:
+            self._fc_release_queue(task)
         task.work.clear()
         task.emit_blocked = False
         task.emit_timer_set = False
@@ -858,14 +1013,19 @@ class SimulationRun:
         schedule_after = self.sim.schedule_after
         complete = self._complete
         service_time = self._service_time
+        fc_on = self._fc is not None
         while node.alive and node_rt.active < cores and ready:
             task = ready.popleft()
             task.queued = False
-            if not task.alive or not task.work:
+            if not task.alive or not task.work or task.fc_paused:
                 continue
             task.running = True
             node_rt.active += 1
             kind, payload = task.work.popleft()
+            if fc_on and kind == _PROCESS:
+                # The batch left its bounded input queue: return the edge
+                # credit (may resume a stalled upstream producer).
+                self._fc_drain(task.topo, payload[3], task.component.name)
             service = service_time(task, kind, payload, node_rt)
             schedule_after(service, complete, task, kind, payload, service,
                            node_rt)
@@ -923,7 +1083,10 @@ class SimulationRun:
             # serviced: the retry state is gone with the worker, so the
             # origin resolves as explicitly exhausted, never silently.
             self._abandon_replay(task.topo, payload[0])
-        if task.alive and task.work and not task.queued and not task.running:
+        if (
+            task.alive and task.work and not task.queued
+            and not task.running and not task.fc_paused
+        ):
             task.queued = True
             task.node.ready.append(task)
             if task.node is not node_rt:
@@ -933,7 +1096,7 @@ class SimulationRun:
                 self._dispatch(task.node)
         self._dispatch(node_rt)
 
-    # -- emit / process effects -----------------------------------------------------------
+    # -- emit / process effects --------------------------------------------------------
 
     def _finish_emit(self, spout: _TaskRuntime, payload=None) -> None:
         topo = spout.topo
@@ -950,7 +1113,7 @@ class SimulationRun:
                     deliveries, spout, now, tuples, 0, root_id
                 )
                 spout.inflight += 1
-                if self._at_least_once:
+                if self._track_origins:
                     topo.origins_created += 1
             else:
                 # A spout with no subscribers is its own sink.
@@ -978,7 +1141,7 @@ class SimulationRun:
                 deliveries, spout, now, tuples, 0, root_id, arrived_at
             )
             spout.inflight += 1
-            if self._at_least_once:
+            if self._track_origins:
                 topo.origins_created += 1
         else:
             # A spout with no subscribers is its own sink.
@@ -992,7 +1155,10 @@ class SimulationRun:
         spout.emit_blocked = False
 
     def _finish_process(self, task: _TaskRuntime, payload) -> None:
-        root_id, tuples, _level = payload
+        # Positional indexing, not unpacking: flow-control runs extend
+        # the _PROCESS payload with a 4th element (source component).
+        root_id = payload[0]
+        tuples = payload[1]
         topo = task.topo
         now = self.sim.now
         self.stats.record_processed(topo.topology_id, task.component.name, tuples)
@@ -1032,7 +1198,7 @@ class SimulationRun:
                 )
             self._try_emit(spout)
 
-    # -- at-least-once replay ---------------------------------------------------------------
+    # -- at-least-once replay ----------------------------------------------------------
 
     def _start_replay(
         self, spout: _TaskRuntime, tuples: int, attempt: int,
@@ -1100,14 +1266,15 @@ class SimulationRun:
     def delivery_audit(self) -> Dict[str, Dict[str, int]]:
         """Per-topology at-least-once ledger (for tests/diagnostics).
 
-        Invariant while ``at_least_once`` is on::
+        Invariant while ``at_least_once`` and/or flow control is on::
 
             origins_created == origins_acked + origins_exhausted
-                               + pending + replays_outstanding
+                               + origins_shed + pending
+                               + replays_outstanding
 
         i.e. every root tuple ever admitted to the acker is acked,
-        explicitly exhausted, or still accounted for in flight — nothing
-        is silently dropped.
+        explicitly exhausted, deliberately shed, or still accounted for
+        in flight — nothing is silently dropped.
         """
         audit: Dict[str, Dict[str, int]] = {}
         for topo_rt in self._topologies:
@@ -1116,6 +1283,7 @@ class SimulationRun:
                 "origins_created": topo_rt.origins_created,
                 "origins_acked": len(self.stats.ack_latencies(topo_id)),
                 "origins_exhausted": topo_rt.origins_exhausted,
+                "origins_shed": topo_rt.origins_shed,
                 "pending": len(topo_rt.pending),
                 "replays_outstanding": topo_rt.replays_outstanding,
                 "spout_inflight": sum(
@@ -1124,7 +1292,7 @@ class SimulationRun:
             }
         return audit
 
-    # -- routing --------------------------------------------------------------------------
+    # -- routing -----------------------------------------------------------------------
 
     def _refresh_route(self, producer: _TaskRuntime, route: _OutRoute) -> None:
         """Recompute a route's placement-derived caches (distance levels,
@@ -1156,6 +1324,8 @@ class SimulationRun:
         num_bytes = tuples * producer.profile.tuple_bytes
         version = self._placement_version
         producer_node_id = producer.slot.node_id
+        fc = producer.topo.flow
+        src = producer.component.name
         # Hoisted bound methods: one lookup per routed batch instead of
         # one per delivery.  ``self._deliver`` is looked up here (not at
         # construction) so an installed Tracer still intercepts it.
@@ -1213,11 +1383,20 @@ class SimulationRun:
                         self.stats.record_duplicate(
                             producer.topo.topology_id, tuples
                         )
+                        if fc is not None:
+                            # Ghost copies occupy real queue space too.
+                            self._fc_send(
+                                producer.topo, src, route.consumer_component
+                            )
                         schedule_at(
                             dup_arrival, deliver, consumer, _GHOST_ROOT,
-                            tuples, level,
+                            tuples, level, src,
                         )
-                schedule_at(arrival, deliver, consumer, root_id, tuples, level)
+                if fc is not None:
+                    self._fc_send(producer.topo, src, route.consumer_component)
+                schedule_at(
+                    arrival, deliver, consumer, root_id, tuples, level, src
+                )
         return deliveries
 
     def _deliver(
@@ -1226,13 +1405,169 @@ class SimulationRun:
         root_id: int,
         tuples: int,
         level: DistanceLevel,
+        src: Optional[str] = None,
     ) -> None:
         if not consumer.alive or not consumer.node.node.alive:
             self.stats.record_dropped()
+            if self._fc is not None and src is not None:
+                # The batch consumed an edge credit when routed; a dead
+                # consumer never drains it, so return it here.
+                self._fc_drain(consumer.topo, src, consumer.component.name)
             return  # the root will time out and return spout credit
+        if self._fc is not None:
+            fc_shed = self._fc_shed
+            if fc_shed is not None and fc_shed.should_shed(
+                consumer.topo.topology_id, len(consumer.work)
+            ):
+                self._fc_drain(consumer.topo, src, consumer.component.name)
+                self._shed_delivery(consumer, root_id, tuples)
+                return
+            self._push_work(consumer, _PROCESS, (root_id, tuples, level, src))
+            return
         self._push_work(consumer, _PROCESS, (root_id, tuples, level))
 
-    # -- ack timeout sweep -----------------------------------------------------------------
+    # -- flow control (all paths below only run when config.flow is set) ---
+
+    def _fc_send(
+        self, topo_rt: _TopologyRuntime, producer: str, consumer: str
+    ) -> None:
+        """Consume one credit on an edge; stall its producer component
+        when this send crosses the high watermark."""
+        fc = topo_rt.flow
+        ledger = fc.edges.get((producer, consumer))
+        if ledger is None:  # pragma: no cover - defensive
+            return
+        if ledger.send():
+            self.stats.record_credit_stall(
+                topo_rt.topology_id, producer, consumer
+            )
+            count = fc.stalled_edges.get(producer, 0) + 1
+            fc.stalled_edges[producer] = count
+            if count == 1:
+                self._fc_stall(topo_rt, producer, consumer)
+
+    def _fc_drain(
+        self, topo_rt: _TopologyRuntime, producer: str, consumer: str
+    ) -> None:
+        """Return one credit on an edge; resume its producer component
+        when this drain falls back to the low watermark and no other out
+        edge of the producer is still stalled."""
+        fc = topo_rt.flow
+        ledger = fc.edges.get((producer, consumer))
+        if ledger is None:  # pragma: no cover - defensive
+            return
+        if ledger.drain():
+            count = fc.stalled_edges.get(producer, 1) - 1
+            fc.stalled_edges[producer] = count
+            if count == 0:
+                self._fc_resume(topo_rt, producer, consumer)
+
+    def _fc_stall(
+        self, topo_rt: _TopologyRuntime, producer: str, consumer: str
+    ) -> None:
+        """Backpressure bites: pause every task of ``producer``.
+
+        Paused bolts stop draining their own input queues, so their
+        upstream edges fill next — pressure propagates edge-by-edge until
+        it reaches the spouts, which stop emitting.  An installed Tracer
+        wraps this (and :meth:`_fc_resume`) to surface stall events.
+        """
+        fc = topo_rt.flow
+        tasks = fc.tasks_of.get(producer, ())
+        for rt in tasks:
+            rt.fc_paused = True
+        if tasks and tasks[0].is_spout:
+            fc.spout_stalled_since.setdefault(producer, self.sim.now)
+
+    def _fc_resume(
+        self, topo_rt: _TopologyRuntime, producer: str, consumer: str
+    ) -> None:
+        """Backpressure releases: unpause ``producer`` and restart its
+        tasks (spouts re-emit, bolts drain their backlog)."""
+        fc = topo_rt.flow
+        tasks = fc.tasks_of.get(producer, ())
+        for rt in tasks:
+            rt.fc_paused = False
+        since = fc.spout_stalled_since.pop(producer, None)
+        if since is not None:
+            self.stats.record_spout_throttle(
+                topo_rt.topology_id, self.sim.now - since
+            )
+        for rt in tasks:
+            if not rt.alive or not rt.node.node.alive:
+                continue
+            if rt.is_spout:
+                self._try_emit(rt)
+            if rt.work and not rt.queued and not rt.running:
+                rt.queued = True
+                rt.node.ready.append(rt)
+                self._dispatch(rt.node)
+
+    def _fc_release_queue(self, task: _TaskRuntime) -> None:
+        """Return the edge credits held by a dying task's queued batches
+        (worker crash, node failure, rescale removal) — without this the
+        upstream edge would stall forever."""
+        topo_rt = task.topo
+        consumer = task.component.name
+        for kind, payload in task.work:
+            if kind == _PROCESS:
+                self._fc_drain(topo_rt, payload[3], consumer)
+
+    def _shed_delivery(
+        self, consumer: _TaskRuntime, root_id: int, tuples: int
+    ) -> None:
+        """The shedding policy refused a batch at a full bolt queue.
+
+        The whole tuple tree resolves as *shed* (popped from the acker,
+        spout credit returned, ``origins_shed`` incremented) — a
+        deliberate, audited drop, never a silent one.  Shed trees are
+        not replayed even under at-least-once: shedding is the load
+        regulator, replaying their tuples would defeat it.  Ghost and
+        late batches (tree already resolved) count in the shed totals
+        only.
+        """
+        topo = consumer.topo
+        entry = None
+        if root_id != _GHOST_ROOT:
+            entry = topo.pending.pop(root_id, None)
+        shed_tuples = entry.tuples if entry is not None else tuples
+        self._shed(
+            topo.topology_id, consumer.component.name, "queue", shed_tuples
+        )
+        if entry is not None:
+            topo.origins_shed += 1
+            spout = entry.spout
+            spout.inflight -= 1
+            if spout.alive:
+                self._try_emit(spout)
+
+    def _shed(
+        self, topology_id: str, component: str, stage: str, tuples: int
+    ) -> None:
+        """Record one audited shed decision (Tracer-visible)."""
+        now = self.sim.now
+        self.stats.record_shed(topology_id, component, stage, now, tuples)
+        self._fc_ledger.record(
+            ShedRecord(
+                now, topology_id, component, stage, tuples,
+                self._fc_policy.name,
+            )
+        )
+
+    def shed_ledger(self) -> Optional[ShedLedger]:
+        """The run's audited shed ledger (None when flow is off)."""
+        return self._fc_ledger
+
+    def flow_edges(self, topology_id: str) -> Dict[Tuple[str, str], CreditLedger]:
+        """Per-edge credit ledgers (tests/diagnostics; flow on only)."""
+        topo_rt = self._topology_runtime(topology_id)
+        if topo_rt.flow is None:
+            raise SimulationError(
+                f"flow control is not enabled for {topology_id!r}"
+            )
+        return dict(topo_rt.flow.edges)
+
+    # -- ack timeout sweep -------------------------------------------------------------
 
     def _schedule_sweep(self, topo_rt: _TopologyRuntime) -> None:
         """One coalesced timeout timer per topology (period = a quarter
@@ -1258,6 +1593,14 @@ class SimulationRun:
             spout = entry.spout
             spout.inflight -= 1
             self.stats.record_failed(topo_rt.topology_id, entry.tuples)
+            if not at_least_once and self._track_origins:
+                # Flow control without at-least-once: a timed-out tree is
+                # given up on for good, so the origin audit resolves it
+                # as exhausted (never silently lost).
+                topo_rt.origins_exhausted += 1
+                self.stats.record_exhausted(
+                    topo_rt.topology_id, entry.tuples
+                )
             if at_least_once:
                 if entry.attempt < self._max_retries:
                     # Exponential backoff before the spout re-emits; the
@@ -1279,7 +1622,7 @@ class SimulationRun:
                 self._try_emit(spout)
         self.sim.schedule_after(period, self._sweep, topo_rt, period)
 
-    # -- helpers ------------------------------------------------------------------------------
+    # -- helpers -----------------------------------------------------------------------
 
     def _topology_runtime(self, topology_id: str) -> _TopologyRuntime:
         for topo_rt in self._topologies:

@@ -36,7 +36,8 @@ class TraceEvent:
         time: Simulated time in seconds.
         kind: ``emit`` | ``deliver`` | ``ack`` | ``fail`` | ``crash`` |
             ``migrate`` | ``node_down`` | ``node_up`` | ``inject`` |
-            ``expire`` | ``reschedule`` | ``replay`` | ``rescale``.
+            ``expire`` | ``reschedule`` | ``replay`` | ``rescale`` |
+            ``stall`` | ``resume`` | ``shed``.
         topology: Topology id (empty for cluster-level events).
         detail: Human-readable specifics (task, node, counts).
     """
@@ -56,6 +57,7 @@ class Tracer:
     KINDS = (
         "emit", "deliver", "ack", "fail", "crash", "migrate", "node_down",
         "node_up", "inject", "expire", "reschedule", "replay", "rescale",
+        "stall", "resume", "shed",
     )
 
     def __init__(self, capacity: int = 100_000):
@@ -128,16 +130,59 @@ class Tracer:
 
         original_deliver = run._deliver
 
-        def traced_deliver(consumer, root_id, tuples, level):
+        def traced_deliver(consumer, root_id, tuples, level, src=None):
             tracer.record(
                 run.sim.now,
                 "deliver",
                 consumer.topo.topology_id,
                 f"root={root_id} tuples={tuples} -> {consumer.task} ({level.name})",
             )
-            return original_deliver(consumer, root_id, tuples, level)
+            return original_deliver(consumer, root_id, tuples, level, src)
 
         run._deliver = traced_deliver
+
+        # Flow-control transitions (no-ops unless config.flow is set):
+        # edge stalls/resumes and audited shed decisions.
+        original_fc_stall = run._fc_stall
+
+        def traced_fc_stall(topo_rt, producer, consumer):
+            tracer.record(
+                run.sim.now,
+                "stall",
+                topo_rt.topology_id,
+                f"{producer} paused ({producer} -> {consumer} edge over "
+                "high watermark)",
+            )
+            return original_fc_stall(topo_rt, producer, consumer)
+
+        run._fc_stall = traced_fc_stall
+
+        original_fc_resume = run._fc_resume
+
+        def traced_fc_resume(topo_rt, producer, consumer):
+            tracer.record(
+                run.sim.now,
+                "resume",
+                topo_rt.topology_id,
+                f"{producer} resumed ({producer} -> {consumer} edge under "
+                "low watermark)",
+            )
+            return original_fc_resume(topo_rt, producer, consumer)
+
+        run._fc_resume = traced_fc_resume
+
+        original_shed = run._shed
+
+        def traced_shed(topology_id, component, stage, tuples):
+            tracer.record(
+                run.sim.now,
+                "shed",
+                topology_id,
+                f"{component} shed tuples={tuples} stage={stage}",
+            )
+            return original_shed(topology_id, component, stage, tuples)
+
+        run._shed = traced_shed
 
         original_crash = run._crash_task
 
@@ -228,6 +273,9 @@ class Tracer:
             (run, "_finish_emit"),
             (run, "_finish_replay"),
             (run, "_deliver"),
+            (run, "_fc_stall"),
+            (run, "_fc_resume"),
+            (run, "_shed"),
             (run, "_crash_task"),
             (run, "_fail_node"),
             (run, "_recover_node"),

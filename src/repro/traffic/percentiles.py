@@ -73,6 +73,12 @@ class TailDigest:
 
     def add(self, value: float) -> None:
         value = float(value)
+        if not math.isfinite(value):
+            # A single NaN would poison the running sum (mean becomes
+            # NaN forever) and break the sorted-merge invariant (NaN
+            # compares false against everything); inf skews the
+            # min/max-clamped tail interpolation.  Reject loudly.
+            raise ValueError(f"samples must be finite, got {value!r}")
         self._buffer.append(value)
         self._count += 1
         self._sum += value

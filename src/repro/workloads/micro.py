@@ -31,6 +31,7 @@ __all__ = [
     "linear_topology",
     "diamond_topology",
     "star_topology",
+    "hotspot_topology",
     "micro_topology",
     "VARIANTS",
 ]
@@ -96,6 +97,49 @@ def linear_topology(
         bolt.shuffle_grouping(previous)
         bolt.set_memory_load(memory_mb).set_cpu_load(cpu_load)
         previous = f"bolt-{i}"
+    return builder.build()
+
+
+def hotspot_topology(
+    parallelism: int = 6,
+    narrow: int = 2,
+    name: Optional[str] = None,
+) -> Topology:
+    """The Linear compute topology with a narrow, slow middle stage.
+
+    ``spout -> bolt-1 -> bolt-2 -> bolt-3`` where bolt-2 runs at twice
+    the per-tuple cost of every other stage with only ``narrow`` tasks —
+    a fan-in bottleneck (``parallelism`` producers feed ``narrow``
+    consumers).  On the balanced linear topology, single-core nodes
+    equalise stage rates via round-robin servicing and backlog only ever
+    accumulates at the spout ingress; the hotspot is what makes
+    *internal* edges fill, so it is the flow-control experiments'
+    workload: the bolt-1 -> bolt-2 edge hits its high watermark first,
+    then the stall propagates upstream edge-by-edge to the spouts.
+
+    bolt-2 declares its true appetite (50 points per task), so R-Storm
+    provisions it honestly — the bottleneck is structural (not enough
+    tasks), which no placement can schedule away.
+    """
+    if parallelism < 1 or narrow < 1:
+        raise ConfigError("hotspot parallelism values must be >= 1")
+    slow_profile = ExecutionProfile(
+        cpu_ms_per_tuple=2.0, tuple_bytes=64, emit_batch_tuples=50
+    )
+    builder = TopologyBuilder(name or "hotspot-compute")
+    spout = builder.set_spout(
+        "spout", parallelism, profile=_COMPUTE_SPOUT_PROFILE
+    )
+    spout.set_memory_load(256.0).set_cpu_load(25.0)
+    bolt1 = builder.set_bolt("bolt-1", parallelism, profile=_COMPUTE_PROFILE)
+    bolt1.shuffle_grouping("spout")
+    bolt1.set_memory_load(256.0).set_cpu_load(25.0)
+    bolt2 = builder.set_bolt("bolt-2", narrow, profile=slow_profile)
+    bolt2.shuffle_grouping("bolt-1")
+    bolt2.set_memory_load(256.0).set_cpu_load(50.0)
+    bolt3 = builder.set_bolt("bolt-3", parallelism, profile=_COMPUTE_PROFILE)
+    bolt3.shuffle_grouping("bolt-2")
+    bolt3.set_memory_load(256.0).set_cpu_load(25.0)
     return builder.build()
 
 

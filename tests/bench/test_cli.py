@@ -232,6 +232,70 @@ def test_sched_summary_skipped_without_sched_probes(
     assert not summary.exists()
 
 
+@pytest.fixture()
+def flow_registry(monkeypatch):
+    registry = {
+        "overload-protect": Benchmark(
+            name="overload-protect",
+            description="flow probe",
+            prepare=lambda: (lambda: 20),
+            repeats=2,
+        ),
+        "other": Benchmark(
+            name="other",
+            description="non-flow probe",
+            prepare=lambda: (lambda: 5),
+            repeats=2,
+        ),
+    }
+    monkeypatch.setattr(cli, "REGISTRY", registry)
+    return registry
+
+
+def test_flow_summary_written_for_flow_probes(flow_registry, tmp_path, capsys):
+    summary = tmp_path / "BENCH_flow.json"
+    code = cli.main(
+        [
+            "overload-protect",
+            "other",
+            "--out",
+            str(tmp_path / "out"),
+            "--baseline",
+            str(tmp_path / "missing"),
+            "--summary",
+            "",
+            "--flow-summary",
+            str(summary),
+        ]
+    )
+    assert code == 0
+    payload = json.loads(summary.read_text())
+    assert set(payload["probes"]) == {"overload-protect"}
+    probe = payload["probes"]["overload-protect"]
+    assert probe["events"] == 20
+    assert probe["speedup_vs_baseline"] is None
+    assert "overload-path summary" in capsys.readouterr().out
+
+
+def test_flow_summary_skipped_without_flow_probes(fake_registry, tmp_path):
+    summary = tmp_path / "BENCH_flow.json"
+    assert (
+        cli.main(
+            [
+                "fast",
+                "--out",
+                str(tmp_path / "out"),
+                "--summary",
+                "",
+                "--flow-summary",
+                str(summary),
+            ]
+        )
+        == 0
+    )
+    assert not summary.exists()
+
+
 def test_sched_summary_disabled_with_empty_path(sched_registry, tmp_path):
     code = cli.main(
         [

@@ -23,6 +23,7 @@ EXPECTED_NAMES = {
     "delivery-replay",
     "fig9-e2e",
     "traffic-overload",
+    "overload-protect",
     "elastic-adapt",
     "tenant-admission",
 }

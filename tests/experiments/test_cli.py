@@ -81,6 +81,52 @@ class TestMain:
             duration_s=30.0, loss_rate=0.2, max_retries=1, quarantine=True
         )
 
+    @pytest.mark.parametrize("name", sorted(REGISTRY))
+    def test_jobs_and_cache_dir_reach_every_runner(
+        self, name, monkeypatch, tmp_path, capsys
+    ):
+        """--jobs / --cache-dir parity: every registered experiment gets
+        the same ExperimentContext (same worker pool, same cache root)."""
+        from repro import cli
+        from repro.experiments.harness import ExperimentResult
+
+        captured = {}
+
+        def fake_run(*args, **kwargs):
+            captured["context"] = kwargs.get("context")
+            result = ExperimentResult(name, "stub")
+            result.add_row(scenario="stub")
+            return result
+
+        monkeypatch.setitem(cli.REGISTRY, name, fake_run)
+        assert main(
+            [name, "--jobs", "3", "--cache-dir", str(tmp_path / "cache")]
+        ) == 0
+        context = captured["context"]
+        assert context is not None, f"{name} runner never saw a context"
+        assert context.jobs == 3
+        assert context.cache is not None
+        assert str(context.cache.root) == str(tmp_path / "cache")
+
+    @pytest.mark.parametrize("name", sorted(REGISTRY))
+    def test_no_cache_reaches_every_runner(
+        self, name, monkeypatch, tmp_path, capsys
+    ):
+        from repro import cli
+        from repro.experiments.harness import ExperimentResult
+
+        captured = {}
+
+        def fake_run(*args, **kwargs):
+            captured["context"] = kwargs.get("context")
+            result = ExperimentResult(name, "stub")
+            result.add_row(scenario="stub")
+            return result
+
+        monkeypatch.setitem(cli.REGISTRY, name, fake_run)
+        assert main([name, "--no-cache"]) == 0
+        assert captured["context"].cache is None
+
     def test_save_writes_table_and_series(self, tmp_path, capsys):
         from repro.cli import save_result
         from repro.experiments.harness import ExperimentResult

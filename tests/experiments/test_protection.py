@@ -1,0 +1,91 @@
+"""Tests for the overload-protection experiment."""
+
+import pytest
+
+from repro.experiments import REGISTRY
+from repro.experiments.protection import (
+    MODES,
+    MULTIPLIERS,
+    QUEUE_CAPACITY,
+    run,
+    sweep_units,
+)
+
+
+class TestRegistration:
+    def test_registered_as_protection(self):
+        assert REGISTRY["protection"] is run
+
+    def test_modes_cover_the_three_stories(self):
+        names = [name for name, _ in MODES]
+        assert names == ["unprotected", "backpressure", "backpressure+shed"]
+        flows = dict(MODES)
+        assert flows["unprotected"] is None
+        assert flows["backpressure"].shedding == "none"
+        assert flows["backpressure+shed"].shedding == "tail-drop"
+        for _, flow in MODES:
+            if flow is not None:
+                assert flow.queue_capacity == QUEUE_CAPACITY
+
+
+class TestUnits:
+    def test_grid_covers_modes_times_schedulers(self):
+        units = sweep_units(60.0)
+        assert len(units) == len(MULTIPLIERS) * 2 * len(MODES)
+        labels = {u.label for u in units}
+        assert "protect:1x/r-storm/unprotected" in labels
+        assert "protect:2x/default/backpressure+shed" in labels
+
+    def test_units_are_open_loop_and_flow_matches_mode(self):
+        for unit in sweep_units(60.0, multipliers=(1.5,)):
+            assert unit.config.arrival_process is not None
+            mode = unit.label.rsplit("/", 1)[1]
+            if mode == "unprotected":
+                assert unit.config.flow is None
+            else:
+                assert unit.config.flow is not None
+
+
+@pytest.fixture(scope="module")
+def short_result():
+    """One short run at the 1.5x knee shared by the assertion tests.
+
+    60 s is the shortest horizon where the unprotected mode reliably
+    crashes workers (queue overflow needs time to build).
+    """
+    return run(duration_s=60.0, multipliers=(1.5,))
+
+
+class TestShortRun:
+    def test_graceful_degradation_at_overload(self, short_result):
+        result = short_result
+        by_mode = {}
+        for row in result.rows:
+            if row.get("scheduler") == "r-storm":
+                by_mode[row["mode"]] = row
+        raw = by_mode["unprotected"]
+        bp = by_mode["backpressure"]
+        shed = by_mode["backpressure+shed"]
+        # Unprotected overload: crashes and mass timeouts.
+        assert raw["crashes"] > 0 and raw["failed"] > 0
+        # Backpressure: spouts throttle instead of failing tuples.
+        assert bp["failed"] == 0 and bp["throttled_s"] > 0
+        assert bp["stalls"] > 0
+        # Shedding: no crashes, audited drops, best achieved throughput.
+        assert shed["crashes"] == 0 and shed["failed"] == 0
+        assert shed["shed"] > 0
+        assert shed["achieved_per_10s"] >= raw["achieved_per_10s"]
+
+    def test_priority_rows_shed_free_first(self, short_result):
+        rows = {
+            row["mode"]: row
+            for row in short_result.rows
+            if "/" in str(row["mode"])
+        }
+        assert rows["priority/free"]["shed"] > rows["priority/gold"]["shed"]
+        # Under plain tail-drop the two tiers shed about evenly.
+        tail_gold = rows["tail-drop/gold"]["shed"]
+        tail_free = rows["tail-drop/free"]["shed"]
+        assert abs(tail_free - tail_gold) < rows["priority/free"]["shed"] - rows[
+            "priority/gold"
+        ]["shed"]
